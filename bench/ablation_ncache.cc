@@ -1,0 +1,162 @@
+// Design-choice ablations (DESIGN.md §5) — not in the paper, but probing
+// the mechanisms behind its results:
+//
+//   A. Checksum offload off: with software checksums the CPU walks every
+//      payload byte — except NCache inherits the originator's checksum
+//      (§1), so its advantage over the original *grows*.
+//   B. Double buffering: shrink the fs buffer cache under a fixed working
+//      set. The original server degrades (misses reach the disks); the
+//      NCache server stays flat because the network-centric cache absorbs
+//      the misses as a second level (§3.4).
+//   C. Substitution-cost sensitivity: sweep the per-frame substitution
+//      cost to show how much of NCache's win survives a sloppier
+//      implementation (the gap the paper reports between NCache and the
+//      ideal baseline).
+#include "bench/bench_util.h"
+
+namespace ncache::bench {
+namespace {
+
+using core::PassMode;
+using testbed::Testbed;
+using testbed::TestbedConfig;
+
+constexpr std::uint64_t kHot = 5 << 20;
+
+double allhit_run(TestbedConfig cfg, std::uint32_t request = 32768) {
+  cfg.client_count = 2;
+  cfg.server_nics = 2;
+  cfg.nfs_daemons = 16;
+  Testbed tb(cfg);
+  std::uint32_t ino = tb.image().add_file("hot.bin", kHot);
+  tb.start_nfs();
+  sim::sync_wait(tb.loop(), warm_sequential(tb, ino, kHot, request, 1));
+  NfsRunConfig rc;
+  rc.request_size = request;
+  rc.streams_per_client = 10;
+  rc.hot = true;
+  rc.duration = 400 * sim::kMillisecond;
+  return run_nfs_read_workload(tb, ino, kHot, rc).throughput_mb_s;
+}
+
+void ablation_checksum() {
+  print_header("Ablation A: software checksums (offload disabled)",
+               "NCache inherits checksums from cached originators, so its "
+               "gain over original grows when checksums hit the CPU");
+  print_row_header({"offload", "orig_MB/s", "nc_MB/s", "nc_gain%"});
+  for (bool offload : {true, false}) {
+    TestbedConfig base;
+    base.costs.checksum_offload = offload;
+    base.mode = PassMode::Original;
+    double orig = allhit_run(base);
+    base.mode = PassMode::NCache;
+    double nc = allhit_run(base);
+    std::printf("%14s%14.1f%14.1f%14.0f\n", offload ? "on" : "off", orig, nc,
+                (nc / orig - 1.0) * 100);
+  }
+}
+
+double miss_run(PassMode mode, std::size_t fs_cache_blocks) {
+  TestbedConfig cfg;
+  cfg.mode = mode;
+  cfg.client_count = 2;
+  cfg.nfs_daemons = 16;
+  cfg.volume_blocks = 48 * 1024;
+  cfg.fs_cache_blocks = fs_cache_blocks;
+  cfg.ncache_budget_bytes = 96u << 20;  // holds the whole working set
+  Testbed tb(cfg);
+  constexpr std::uint64_t kSet = 48ull << 20;  // 48 MB working set
+  std::uint32_t ino = tb.image().add_file("set.bin", kSet);
+  tb.start_nfs();
+  sim::sync_wait(tb.loop(), warm_sequential(tb, ino, kSet, 32768, 1));
+  NfsRunConfig rc;
+  rc.request_size = 32768;
+  rc.streams_per_client = 8;
+  rc.hot = true;  // random reads over the working set
+  rc.duration = 400 * sim::kMillisecond;
+  return run_nfs_read_workload(tb, ino, kSet, rc).throughput_mb_s;
+}
+
+void ablation_double_buffering() {
+  print_header(
+      "Ablation B: fs buffer cache size under a 48 MB working set",
+      "original collapses once the page cache is smaller than the set "
+      "(disk-bound misses); NCache stays flat — the network-centric cache "
+      "absorbs fs-cache misses as a second level");
+  print_row_header({"fscache_MB", "orig_MB/s", "nc_MB/s", "nc_gain%"});
+  for (std::size_t blocks : {16384u, 4096u, 1024u}) {
+    double orig = miss_run(PassMode::Original, blocks);
+    double nc = miss_run(PassMode::NCache, blocks);
+    std::printf("%14zu%14.1f%14.1f%14.0f\n", blocks * 4096 / (1 << 20), orig,
+                nc, (nc / orig - 1.0) * 100);
+  }
+}
+
+void ablation_substitution_cost() {
+  print_header("Ablation C: per-frame substitution cost sensitivity",
+               "NCache's gain decays as substitution gets sloppier; the "
+               "paper's gap to the ideal baseline is this overhead");
+  print_row_header({"subst_us", "nc_MB/s", "vs_orig%"});
+  TestbedConfig base;
+  base.mode = PassMode::Original;
+  double orig = allhit_run(base);
+  for (sim::Duration subst : {0u, 1'200u, 3'000u, 6'000u}) {
+    TestbedConfig cfg;
+    cfg.mode = PassMode::NCache;
+    cfg.costs.ncache_substitute_ns = subst;
+    double nc = allhit_run(cfg);
+    std::printf("%14.1f%14.1f%14.0f\n", double(subst) / 1000.0, nc,
+                (nc / orig - 1.0) * 100);
+  }
+}
+
+double wire_target_run(PassMode mode, bool wire_target) {
+  TestbedConfig cfg;
+  cfg.mode = mode;
+  cfg.client_count = 2;
+  cfg.nfs_daemons = 16;
+  cfg.volume_blocks = 48 * 1024;
+  cfg.fs_cache_blocks = 1024;           // 4 MB: rereads reach storage
+  cfg.ncache_budget_bytes = 8u << 20;   // tiny app-side pool
+  cfg.wire_format_target = wire_target;
+  cfg.wire_target_budget_bytes = 96u << 20;  // holds the set on the target
+  Testbed tb(cfg);
+  constexpr std::uint64_t kSet = 48ull << 20;
+  std::uint32_t ino = tb.image().add_file("set.bin", kSet);
+  tb.start_nfs();
+  sim::sync_wait(tb.loop(), warm_sequential(tb, ino, kSet, 32768, 1));
+  NfsRunConfig rc;
+  rc.request_size = 32768;
+  rc.streams_per_client = 8;
+  rc.hot = true;
+  rc.duration = 400 * sim::kMillisecond;
+  return run_nfs_read_workload(tb, ino, kSet, rc).throughput_mb_s;
+}
+
+void ablation_wire_target() {
+  print_header(
+      "Ablation D: wire-format data on the storage server (the paper's "
+      "Section 6 future work)",
+      "keeping disk-resident blocks in network-ready form on the *target* "
+      "removes its two copies and its disk reads for warm data; combined "
+      "with an NCache app server, each byte moves once end to end");
+  print_row_header({"app_mode", "stock_MB/s", "wiretgt_MB/s", "delta%"});
+  for (PassMode mode : {PassMode::Original, PassMode::NCache}) {
+    double stock = wire_target_run(mode, false);
+    double wired = wire_target_run(mode, true);
+    std::printf("%14s%14.1f%14.1f%14.0f\n", core::to_string(mode), stock,
+                wired, (wired / stock - 1.0) * 100);
+  }
+}
+
+}  // namespace
+}  // namespace ncache::bench
+
+int main() {
+  ncache::bench::quiet_logs();
+  ncache::bench::ablation_checksum();
+  ncache::bench::ablation_double_buffering();
+  ncache::bench::ablation_substitution_cost();
+  ncache::bench::ablation_wire_target();
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "bench/bench_util.h"
+
+namespace ncache::bench {
+
+Task<void> warm_sequential(testbed::Testbed& tb, std::uint64_t fh,
+                           std::uint64_t file_size, std::uint32_t request,
+                           int passes) {
+  for (int p = 0; p < passes; ++p) {
+    for (std::uint64_t off = 0; off < file_size; off += request) {
+      auto want = std::uint32_t(
+          std::min<std::uint64_t>(request, file_size - off));
+      (void)co_await tb.nfs_client(0).read(fh, off, want);
+    }
+  }
+}
+
+NfsRunResult run_nfs_read_workload(testbed::Testbed& tb, std::uint64_t fh,
+                                   std::uint64_t file_size,
+                                   const NfsRunConfig& config) {
+  workload::StopFlag stop;
+  workload::Counters counters;
+  // One shared cursor: all streams pipeline a single sequential sweep.
+  auto seq_cursor = std::make_shared<std::uint64_t>(0);
+
+  for (int ci = 0; ci < tb.client_count(); ++ci) {
+    for (int s = 0; s < config.streams_per_client; ++s) {
+      std::uint32_t worker_seed =
+          std::uint32_t(ci * 100 + s + 1);
+      if (config.hot) {
+        workload::hot_read_worker(tb.nfs_client(ci), fh, file_size,
+                                  config.request_size, worker_seed, &stop,
+                                  &counters)
+            .detach();
+      } else {
+        workload::windowed_sequential_worker(tb.nfs_client(ci), fh,
+                                             file_size, config.request_size,
+                                             seq_cursor, &stop, &counters)
+            .detach();
+      }
+    }
+  }
+
+  tb.reset_stats();
+  sim::Time window_start = tb.loop().now();
+  workload::run_measurement(tb.loop(), stop, config.duration);
+
+  NfsRunResult result;
+  result.snapshot = tb.snapshot(window_start);
+  result.counters = counters;
+  result.throughput_mb_s = counters.mb_per_sec(config.duration);
+  result.server_cpu = result.snapshot.server_cpu;
+  result.storage_cpu = result.snapshot.storage_cpu;
+  result.link_util = result.snapshot.server_link_util;
+  return result;
+}
+
+}  // namespace ncache::bench

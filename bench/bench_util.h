@@ -1,0 +1,64 @@
+// Shared helpers for the figure/table reproduction binaries: table
+// printing with paper-expectation annotations, and common testbed warm-up
+// / measurement drivers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "testbed/testbed.h"
+#include "workload/counters.h"
+#include "workload/nfs_workloads.h"
+
+namespace ncache::bench {
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_expectation) {
+  std::printf("\n=============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("=============================================================\n");
+}
+
+inline void print_row_header(const std::vector<std::string>& cols) {
+  for (const auto& c : cols) std::printf("%14s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%14s", "------");
+  std::printf("\n");
+}
+
+inline void quiet_logs() { log::set_level(log::Level::Error); }
+
+/// Warms the app-server caches with `passes` sequential read sweeps of the
+/// file (issued from client 0).
+Task<void> warm_sequential(testbed::Testbed& tb, std::uint64_t fh,
+                           std::uint64_t file_size, std::uint32_t request,
+                           int passes = 1);
+
+/// Runs `streams_per_client` sequential readers (all-miss shape) or hot
+/// random readers (all-hit shape) for `duration`, returning the counters.
+struct NfsRunConfig {
+  std::uint32_t request_size = 32768;
+  int streams_per_client = 6;
+  sim::Duration duration = 800 * sim::kMillisecond;
+  bool hot = false;  ///< true: random hot-set reads; false: sequential
+};
+
+struct NfsRunResult {
+  workload::Counters counters;
+  testbed::Testbed::Snapshot snapshot;
+  double throughput_mb_s = 0;
+  double server_cpu = 0;
+  double storage_cpu = 0;
+  double link_util = 0;
+};
+
+NfsRunResult run_nfs_read_workload(testbed::Testbed& tb, std::uint64_t fh,
+                                   std::uint64_t file_size,
+                                   const NfsRunConfig& config);
+
+inline const char* mode_name(core::PassMode m) { return core::to_string(m); }
+
+}  // namespace ncache::bench

@@ -1,0 +1,96 @@
+// Figure 4 — NFS all-miss microbenchmark (§5.4).
+//
+// Sequential read of a file much larger than every cache on the app
+// server, so each NFS request travels to the iSCSI storage server (the
+// paper uses a 2 GB file; we scale to 96 MB against deliberately small
+// caches, which preserves the all-miss property).
+//
+// Shapes to check (paper):
+//   * NFS-original's server CPU is pinned at ~100 % for every size;
+//   * NCache/baseline CPU *decreases* as request size grows;
+//   * at >=16 KB the NCache/baseline throughput gain over original
+//     plateaus at ~29-36 % because the *storage server's* CPU saturates
+//     and caps everyone;
+//   * below 16 KB per-packet costs dominate and the gain shrinks.
+#include "bench/bench_util.h"
+
+namespace ncache::bench {
+namespace {
+
+using core::PassMode;
+using testbed::Testbed;
+using testbed::TestbedConfig;
+
+constexpr std::uint64_t kBigFileBytes = 96ull << 20;  // scaled 2 GB
+
+struct Point {
+  double mb_s = 0;
+  double server_cpu = 0;
+  double storage_cpu = 0;
+};
+
+Point run_one(PassMode mode, std::uint32_t request) {
+  TestbedConfig cfg;
+  cfg.mode = mode;
+  cfg.server_nics = 1;
+  cfg.client_count = 2;
+  cfg.volume_blocks = 32 * 1024 + (kBigFileBytes >> 12);  // file + slack
+  cfg.inode_count = 4096;
+  // Caches far smaller than the file: every request misses.
+  cfg.fs_cache_blocks = 2048;              // 8 MB
+  cfg.ncache_budget_bytes = 24u << 20;     // 24 MB
+  cfg.nfs_daemons = 16;
+  // §5.4: "the file system read ahead window was tuned so that the
+  // average disk request size matches the NFS request size" — no extra
+  // read-ahead beyond the request itself.
+  cfg.fs_readahead_blocks = 0;
+  Testbed tb(cfg);
+  std::uint32_t ino = tb.image().add_file("big.bin", kBigFileBytes);
+  tb.start_nfs();
+
+  NfsRunConfig rc;
+  rc.request_size = request;
+  rc.streams_per_client = 6;
+  rc.hot = false;  // staggered sequential streams
+  rc.duration = 600 * sim::kMillisecond;
+
+  // Short untimed ramp so queues and disk heads settle.
+  {
+    workload::StopFlag ramp_stop;
+    workload::Counters ramp_counters;
+    workload::sequential_read_worker(tb.nfs_client(0), ino, kBigFileBytes,
+                                     request, 0, &ramp_stop, &ramp_counters)
+        .detach();
+    workload::run_measurement(tb.loop(), ramp_stop, 50 * sim::kMillisecond);
+  }
+
+  NfsRunResult r = run_nfs_read_workload(tb, ino, kBigFileBytes, rc);
+  return Point{r.throughput_mb_s, r.server_cpu, r.storage_cpu};
+}
+
+}  // namespace
+}  // namespace ncache::bench
+
+int main() {
+  using namespace ncache::bench;
+  quiet_logs();
+  print_header(
+      "Figure 4: NFS server all-miss workload (sequential big-file read)",
+      "original CPU pinned ~100%; NCache CPU falls with request size; "
+      "NCache/baseline gain ~29-36% at >=16KB, capped by storage-server "
+      "CPU saturation");
+  print_row_header({"req_KB", "orig_MB/s", "nc_MB/s", "base_MB/s",
+                    "orig_cpu%", "nc_cpu%", "stor_cpu%", "nc_gain%",
+                    "base_gain%"});
+  for (std::uint32_t req : {4096u, 8192u, 16384u, 32768u}) {
+    Point orig = run_one(ncache::core::PassMode::Original, req);
+    Point nc = run_one(ncache::core::PassMode::NCache, req);
+    Point base = run_one(ncache::core::PassMode::Baseline, req);
+    std::printf("%14u%14.1f%14.1f%14.1f%14.0f%14.0f%14.0f%14.0f%14.0f\n",
+                req / 1024, orig.mb_s, nc.mb_s, base.mb_s,
+                orig.server_cpu * 100, nc.server_cpu * 100,
+                nc.storage_cpu * 100, (nc.mb_s / orig.mb_s - 1.0) * 100,
+                (base.mb_s / orig.mb_s - 1.0) * 100);
+  }
+  return 0;
+}

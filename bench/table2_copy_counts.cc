@@ -1,0 +1,148 @@
+// Table 2 — number of regular-data copy operations per request (§5.1).
+//
+// Paper's counts for the ORIGINAL servers:
+//                read hit   read miss   write overwritten   write flushed
+//   NFS server       2          3              1                  2
+//   kHTTPd           1          2             n/a                n/a
+//
+// This bench drives exactly one request down each path with the server's
+// copy counters reset around it, prints the measured counts for all three
+// configurations, and marks PASS/FAIL against the paper's numbers
+// (original) and against zero (NCache, whose whole point is eliminating
+// these copies; baseline likewise moves no payload bytes).
+#include "bench/bench_util.h"
+#include "http/client.h"
+#include "http/khttpd.h"
+
+namespace ncache::bench {
+namespace {
+
+using core::PassMode;
+using testbed::Testbed;
+using testbed::TestbedConfig;
+
+struct Counts {
+  std::uint64_t read_hit = 0;
+  std::uint64_t read_miss = 0;
+  std::uint64_t write_overwrite = 0;
+  std::uint64_t write_flush = 0;
+};
+
+Counts measure_nfs(PassMode mode) {
+  TestbedConfig cfg;
+  cfg.mode = mode;
+  Testbed tb(cfg);
+  std::uint32_t ino = tb.image().add_file("f.bin", 1 << 20);
+  tb.start_nfs();
+
+  Counts out;
+  auto t_fn = [&]() -> Task<void> {
+    auto& client = tb.nfs_client(0);
+    auto& copier = tb.server_node().copier;
+    (void)co_await client.getattr(ino);  // warm metadata
+
+    // Read miss.
+    copier.reset_stats();
+    (void)co_await client.read(ino, 0, fs::kBlockSize);
+    out.read_miss = copier.stats().data_copy_ops;
+
+    // Read hit (same block again).
+    copier.reset_stats();
+    (void)co_await client.read(ino, 0, fs::kBlockSize);
+    out.read_hit = copier.stats().data_copy_ops;
+
+    // Write, overwritten in cache before any flush.
+    auto wfh = co_await client.create(fs::kRootIno, "w.bin");
+    std::vector<std::byte> block(fs::kBlockSize);
+    copier.reset_stats();
+    (void)co_await client.write(*wfh, 0, block);
+    out.write_overwrite = copier.stats().data_copy_ops;
+
+    // ... now force the flush: total copies for the flushed path.
+    co_await tb.fs().sync();
+    out.write_flush = copier.stats().data_copy_ops;
+  };
+  sim::sync_wait(tb.loop(), t_fn());
+  return out;
+}
+
+Counts measure_khttpd(PassMode mode) {
+  TestbedConfig cfg;
+  cfg.mode = mode;
+  Testbed tb(cfg);
+  tb.image().add_file("page.html", 16 * 1024);
+  tb.start_base();
+  http::KHttpd::Config hc;
+  hc.mode = mode;
+  http::KHttpd server(tb.server_node().stack, tb.fs(), hc, tb.ncache());
+  server.start();
+  http::HttpClient client(tb.client_node(0).stack, tb.client_ip(0),
+                          tb.server_ip(0));
+
+  Counts out;
+  auto t_fn = [&]() -> Task<void> {
+    (void)co_await client.connect();
+    auto& copier = tb.server_node().copier;
+    (void)co_await client.get("/nothing");  // warm metadata via 404
+
+    copier.reset_stats();
+    (void)co_await client.get("/page.html");  // cold: miss
+    out.read_miss = copier.stats().data_copy_ops;
+
+    copier.reset_stats();
+    (void)co_await client.get("/page.html");  // warm: hit
+    out.read_hit = copier.stats().data_copy_ops;
+  };
+  sim::sync_wait(tb.loop(), t_fn());
+  return out;
+}
+
+const char* check(std::uint64_t got, std::uint64_t expect) {
+  return got == expect ? "PASS" : "FAIL";
+}
+
+}  // namespace
+}  // namespace ncache::bench
+
+int main() {
+  using namespace ncache::bench;
+  using ncache::core::PassMode;
+  quiet_logs();
+  print_header(
+      "Table 2: data copy operations per request",
+      "original NFS: hit=2 miss=3 overwrite=1 flushed=2; original kHTTPd: "
+      "hit=1 miss=2; NCache/baseline: 0 everywhere");
+
+  std::printf("%-22s%10s%10s%12s%10s%8s\n", "configuration", "read_hit",
+              "read_miss", "overwrite", "flushed", "check");
+  for (PassMode mode :
+       {PassMode::Original, PassMode::NCache, PassMode::Baseline}) {
+    Counts nfs = measure_nfs(mode);
+    bool is_orig = mode == PassMode::Original;
+    Counts expect = is_orig ? Counts{2, 3, 1, 2} : Counts{0, 0, 0, 0};
+    bool ok = nfs.read_hit == expect.read_hit &&
+              nfs.read_miss == expect.read_miss &&
+              nfs.write_overwrite == expect.write_overwrite &&
+              nfs.write_flush == expect.write_flush;
+    std::printf("%-22s%10llu%10llu%12llu%10llu%8s\n",
+                (std::string("NFS-") + ncache::core::to_string(mode)).c_str(),
+                (unsigned long long)nfs.read_hit,
+                (unsigned long long)nfs.read_miss,
+                (unsigned long long)nfs.write_overwrite,
+                (unsigned long long)nfs.write_flush, ok ? "PASS" : "FAIL");
+  }
+  for (PassMode mode :
+       {PassMode::Original, PassMode::NCache, PassMode::Baseline}) {
+    Counts web = measure_khttpd(mode);
+    bool is_orig = mode == PassMode::Original;
+    std::uint64_t eh = is_orig ? 1 : 0;
+    std::uint64_t em = is_orig ? 2 : 0;
+    std::printf("%-22s%10llu%10llu%12s%10s%8s\n",
+                (std::string("kHTTPd-") + ncache::core::to_string(mode)).c_str(),
+                (unsigned long long)web.read_hit,
+                (unsigned long long)web.read_miss, "n/a", "n/a",
+                (web.read_hit == eh && web.read_miss == em) ? "PASS" : "FAIL");
+  }
+  (void)check;
+  return 0;
+}

@@ -1,0 +1,91 @@
+// The paper's motivating scenario (§1): an NFS server backed by iSCSI
+// network storage is a *pass-through* server — it relays bits it never
+// interprets, yet the stock implementation copies every byte several
+// times. This example runs the same hot-file workload against all three
+// server configurations and prints the resource picture side by side.
+//
+// Build & run:  ./build/examples/nfs_fileserver
+#include <cstdio>
+
+#include "common/logging.h"
+#include "fs/image_builder.h"
+#include "testbed/testbed.h"
+#include "workload/nfs_workloads.h"
+
+using namespace ncache;
+
+namespace {
+
+struct Result {
+  double mb_s;
+  double server_cpu;
+  std::uint64_t data_copies;
+  std::uint64_t logical_copies;
+};
+
+Result run(core::PassMode mode) {
+  testbed::TestbedConfig config;
+  config.mode = mode;
+  config.server_nics = 2;  // CPU-bound regime (Fig 5b)
+  config.nfs_daemons = 16;
+  testbed::Testbed tb(config);
+  std::uint32_t ino = tb.image().add_file("hot.bin", 5 << 20);
+  tb.start_nfs();
+
+  // Warm the caches, then hammer the hot set from both clients.
+  auto warm = [&]() -> Task<void> {
+    for (std::uint64_t off = 0; off < (5u << 20); off += 32768) {
+      (void)co_await tb.nfs_client(0).read(ino, off, 32768);
+    }
+  };
+  sim::sync_wait(tb.loop(), warm());
+
+  workload::StopFlag stop;
+  workload::Counters counters;
+  for (int ci = 0; ci < tb.client_count(); ++ci) {
+    for (int w = 0; w < 10; ++w) {
+      workload::hot_read_worker(tb.nfs_client(ci), ino, 5 << 20, 32768,
+                                std::uint32_t(ci * 16 + w + 1), &stop,
+                                &counters)
+          .detach();
+    }
+  }
+  tb.reset_stats();
+  sim::Time t0 = tb.loop().now();
+  workload::run_measurement(tb.loop(), stop, 400 * sim::kMillisecond);
+  auto snap = tb.snapshot(t0);
+
+  return Result{counters.mb_per_sec(400 * sim::kMillisecond),
+                snap.server_cpu,
+                tb.server_node().copier.stats().data_copy_ops,
+                tb.server_node().copier.stats().logical_copy_ops};
+}
+
+}  // namespace
+
+int main() {
+  ncache::log::set_level(ncache::log::Level::Error);
+  std::printf(
+      "Pass-through NFS server, 5 MB hot set, 32 KB reads, 2 NICs\n"
+      "%-12s %12s %12s %16s %16s\n",
+      "mode", "MB/s", "server CPU", "data copies", "logical copies");
+
+  Result orig = run(core::PassMode::Original);
+  Result nc = run(core::PassMode::NCache);
+  Result base = run(core::PassMode::Baseline);
+
+  auto row = [](const char* name, const Result& r) {
+    std::printf("%-12s %12.1f %11.0f%% %16llu %16llu\n", name, r.mb_s,
+                r.server_cpu * 100, (unsigned long long)r.data_copies,
+                (unsigned long long)r.logical_copies);
+  };
+  row("original", orig);
+  row("ncache", nc);
+  row("baseline", base);
+
+  std::printf(
+      "\nNCache throughput gain over the stock server: +%.0f%% "
+      "(paper reports up to +92%% for this configuration)\n",
+      (nc.mb_s / orig.mb_s - 1.0) * 100);
+  return 0;
+}

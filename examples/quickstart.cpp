@@ -1,0 +1,71 @@
+// Quickstart: bring up the paper's 4-node testbed with an NCache-enabled
+// NFS server, read a file over the simulated network, and verify every
+// byte — in about sixty lines.
+//
+//   storage (iSCSI target, RAID-0) -- switch -- NFS server (NCache) -- client
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "fs/image_builder.h"
+#include "testbed/testbed.h"
+
+using namespace ncache;
+
+int main() {
+  // 1. Describe the testbed: one NCache-mode NFS server, two clients.
+  testbed::TestbedConfig config;
+  config.mode = core::PassMode::NCache;
+
+  testbed::Testbed tb(config);
+
+  // 2. Populate the storage volume directly (no simulated cost), then
+  //    bring the system up: iSCSI login, fs mount, NFS daemons.
+  std::uint32_t ino = tb.image().add_file("hello.bin", 1 << 20);
+  tb.start_nfs();
+
+  // 3. Talk to the server like any NFS client would.
+  auto session = [&]() -> Task<void> {
+    auto& client = tb.nfs_client(0);
+
+    auto fh = co_await client.lookup(fs::kRootIno, "hello.bin");
+    if (!fh) {
+      std::printf("lookup failed!\n");
+      co_return;
+    }
+    auto attr = co_await client.getattr(*fh);
+    std::printf("hello.bin: %llu bytes (fh=%llu)\n",
+                (unsigned long long)attr->size, (unsigned long long)*fh);
+
+    std::uint64_t verified = 0;
+    for (std::uint64_t off = 0; off < attr->size; off += 32768) {
+      auto r = co_await client.read(*fh, off, 32768);
+      if (r.status != nfs::Status::Ok) {
+        std::printf("read failed at %llu\n", (unsigned long long)off);
+        co_return;
+      }
+      auto bytes = r.data.to_bytes();
+      if (fs::verify_content(ino, off, bytes) != std::size_t(-1)) {
+        std::printf("corruption at %llu!\n", (unsigned long long)off);
+        co_return;
+      }
+      verified += bytes.size();
+    }
+    std::printf("read and verified %llu bytes over the simulated wire\n",
+                (unsigned long long)verified);
+  };
+  sim::sync_wait(tb.loop(), session());
+
+  // 4. Peek at what NCache did.
+  const auto& cache = tb.ncache()->cache().stats();
+  const auto& module = tb.ncache()->stats();
+  std::printf(
+      "NCache: %llu blocks ingested, %llu frames substituted at egress, "
+      "0 physical data copies on the server (%llu logical copies)\n",
+      (unsigned long long)cache.lbn_inserts,
+      (unsigned long long)module.frames_substituted,
+      (unsigned long long)tb.server_node().copier.stats().logical_copy_ops);
+  std::printf("simulated time elapsed: %.3f ms\n",
+              double(tb.loop().now()) / 1e6);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// kHTTPd as a pass-through server (§4.3): a static web server backed by
+// network storage, accelerated by NCache. Serves a small site over the
+// simulated network, shows the HTTP responses arriving intact at the
+// client while the server moves zero payload bytes.
+//
+// Build & run:  ./build/examples/web_accelerator
+#include <cstdio>
+
+#include "common/logging.h"
+#include "http/client.h"
+#include "http/khttpd.h"
+#include "testbed/testbed.h"
+
+using namespace ncache;
+
+int main() {
+  ncache::log::set_level(ncache::log::Level::Error);
+
+  testbed::TestbedConfig config;
+  config.mode = core::PassMode::NCache;
+  testbed::Testbed tb(config);
+
+  // A tiny site: front page, a stylesheet, an image under /static/.
+  std::uint32_t index = tb.image().add_file("index.html", 8'000);
+  tb.image().add_file("style.css", 2'500);
+  std::uint32_t dir = tb.image().add_dir("static");
+  std::uint32_t img = tb.image().add_file("logo.png", 120'000, dir);
+  tb.start_base();
+
+  http::KHttpd::Config hc;
+  hc.mode = core::PassMode::NCache;
+  http::KHttpd server(tb.server_node().stack, tb.fs(), hc, tb.ncache());
+  server.start();
+
+  http::HttpClient browser(tb.client_node(0).stack, tb.client_ip(0),
+                           tb.server_ip(0));
+
+  auto session = [&]() -> Task<void> {
+    co_await browser.connect();
+    for (const char* path :
+         {"/index.html", "/style.css", "/static/logo.png", "/missing"}) {
+      auto r = co_await browser.get(path);
+      std::printf("GET %-18s -> %d, %llu bytes\n", path, r.status,
+                  (unsigned long long)r.content_length);
+    }
+    // Integrity spot checks against the deterministic image contents.
+    auto front = co_await browser.get("/index.html");
+    auto logo = co_await browser.get("/static/logo.png");
+    bool ok = fs::verify_content(index, 0, front.body.to_bytes()) ==
+                  std::size_t(-1) &&
+              fs::verify_content(img, 0, logo.body.to_bytes()) ==
+                  std::size_t(-1);
+    std::printf("payload integrity: %s\n", ok ? "verified" : "CORRUPT");
+  };
+  sim::sync_wait(tb.loop(), session());
+
+  std::printf(
+      "\nserver moved %llu physical payload bytes "
+      "(%llu frames substituted from the network-centric cache; "
+      "%llu HTTP requests served)\n",
+      (unsigned long long)tb.server_node().copier.stats().data_copy_bytes,
+      (unsigned long long)tb.ncache()->stats().frames_substituted,
+      (unsigned long long)server.stats().requests);
+  return 0;
+}

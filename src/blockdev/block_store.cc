@@ -1,0 +1,175 @@
+#include "blockdev/block_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace ncache::blockdev {
+
+DiskModel::DiskModel(sim::EventLoop& loop, const sim::CostModel& costs,
+                     std::string name)
+    : loop_(loop), costs_(costs), name_(std::move(name)) {}
+
+void DiskModel::access(std::uint64_t offset, std::size_t bytes,
+                       std::function<void()> done) {
+  sim::Duration cost = costs_.disk_command_ns;
+  if (offset != next_sequential_offset_) {
+    std::uint64_t delta = offset > next_sequential_offset_
+                              ? offset - next_sequential_offset_
+                              : next_sequential_offset_ - offset;
+    if (delta <= costs_.disk_near_band_bytes) {
+      // Slightly out-of-order request in the queue: the elevator absorbs
+      // it without a full positioning cycle.
+      cost += costs_.disk_near_seek_ns;
+    } else {
+      cost += costs_.disk_seek_ns;
+      ++seeks_;
+    }
+  }
+  cost += static_cast<sim::Duration>(double(bytes) * 8e9 /
+                                     double(costs_.disk_bandwidth_bps));
+  next_sequential_offset_ = offset + bytes;
+  ++requests_;
+
+  sim::Time start = std::max(loop_.now(), idle_at_);
+  sim::Time finish = start + cost;
+  idle_at_ = finish;
+  sim::Time acct = std::max(start, window_start_);
+  if (finish > acct) busy_ns_ += finish - acct;
+  loop_.schedule_at(finish, std::move(done));
+}
+
+double DiskModel::utilization() const noexcept {
+  sim::Time now = loop_.now();
+  if (now <= window_start_) return 0.0;
+  sim::Duration busy = busy_ns_;
+  if (idle_at_ > now) {
+    sim::Duration future = idle_at_ - now;
+    busy = busy > future ? busy - future : 0;
+  }
+  return std::min(1.0, double(busy) / double(now - window_start_));
+}
+
+void DiskModel::reset_stats() noexcept {
+  busy_ns_ = 0;
+  requests_ = 0;
+  seeks_ = 0;
+  window_start_ = loop_.now();
+  if (idle_at_ > window_start_) busy_ns_ = idle_at_ - window_start_;
+}
+
+Raid0::Raid0(sim::EventLoop& loop, const sim::CostModel& costs,
+             std::string name, unsigned disks, std::size_t stripe_unit_bytes)
+    : loop_(loop), stripe_unit_(stripe_unit_bytes) {
+  if (disks == 0) throw std::invalid_argument("Raid0: need >= 1 disk");
+  for (unsigned i = 0; i < disks; ++i) {
+    disks_.push_back(std::make_unique<DiskModel>(
+        loop, costs, name + ".d" + std::to_string(i)));
+  }
+}
+
+void Raid0::access(std::uint64_t offset, std::size_t bytes,
+                   std::function<void()> done) {
+  if (bytes == 0) {
+    loop_.schedule_in(0, std::move(done));
+    return;
+  }
+  // Split [offset, offset+bytes) into stripe-unit extents and fan out.
+  struct Join {
+    std::size_t remaining = 0;
+    std::function<void()> done;
+  };
+  auto join = std::make_shared<Join>();
+  join->done = std::move(done);
+
+  std::uint64_t pos = offset;
+  std::uint64_t end = offset + bytes;
+  while (pos < end) {
+    std::uint64_t stripe = pos / stripe_unit_;
+    std::uint64_t in_stripe = pos % stripe_unit_;
+    std::size_t extent =
+        std::min<std::uint64_t>(stripe_unit_ - in_stripe, end - pos);
+    unsigned disk_index = unsigned(stripe % disks_.size());
+    // Per-disk linear offset: which stripe row on the spindle.
+    std::uint64_t row = stripe / disks_.size();
+    std::uint64_t disk_offset = row * stripe_unit_ + in_stripe;
+
+    ++join->remaining;
+    disks_[disk_index]->access(disk_offset, extent, [join] {
+      if (--join->remaining == 0) join->done();
+    });
+    pos += extent;
+  }
+}
+
+void Raid0::reset_stats() noexcept {
+  for (auto& d : disks_) d->reset_stats();
+}
+
+BlockStore::BlockStore(sim::EventLoop& loop, const sim::CostModel& costs,
+                       std::string name, std::uint64_t capacity_blocks,
+                       unsigned disks)
+    : loop_(loop),
+      raid_(loop, costs, name, disks),
+      capacity_(capacity_blocks) {}
+
+void BlockStore::check_range(std::uint64_t lbn, std::uint32_t count) const {
+  if (lbn + count > capacity_ || count == 0) {
+    throw std::out_of_range("BlockStore: block range out of bounds");
+  }
+}
+
+Task<std::vector<std::byte>> BlockStore::read(std::uint64_t lbn,
+                                              std::uint32_t count) {
+  check_range(lbn, count);
+  ++reads_;
+  AwaitCallback<bool> io([this, lbn, count](auto resolve) {
+    auto r = std::make_shared<decltype(resolve)>(std::move(resolve));
+    raid_.access(lbn * kBlockSize, std::size_t(count) * kBlockSize,
+                 [r] { (*r)(true); });
+  });
+  co_await io;
+  co_return peek(lbn, count);
+}
+
+Task<void> BlockStore::write(std::uint64_t lbn, std::vector<std::byte> data) {
+  if (data.size() % kBlockSize != 0) {
+    throw std::invalid_argument("BlockStore::write: unaligned size");
+  }
+  auto count = std::uint32_t(data.size() / kBlockSize);
+  check_range(lbn, count);
+  ++writes_;
+  AwaitCallback<bool> io([this, lbn, &data](auto resolve) {
+    auto r = std::make_shared<decltype(resolve)>(std::move(resolve));
+    raid_.access(lbn * kBlockSize, data.size(), [r] { (*r)(true); });
+  });
+  co_await io;
+  poke(lbn, data);
+}
+
+void BlockStore::poke(std::uint64_t lbn, std::span<const std::byte> data) {
+  if (data.size() % kBlockSize != 0) {
+    throw std::invalid_argument("BlockStore::poke: unaligned size");
+  }
+  for (std::size_t i = 0; i * kBlockSize < data.size(); ++i) {
+    auto& slot = blocks_[lbn + i];
+    if (!slot) slot = std::make_unique<std::byte[]>(kBlockSize);
+    std::memcpy(slot.get(), data.data() + i * kBlockSize, kBlockSize);
+  }
+}
+
+std::vector<std::byte> BlockStore::peek(std::uint64_t lbn,
+                                        std::uint32_t count) const {
+  check_range(lbn, count);
+  std::vector<std::byte> out(std::size_t(count) * kBlockSize);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto it = blocks_.find(lbn + i);
+    if (it != blocks_.end()) {
+      std::memcpy(out.data() + std::size_t(i) * kBlockSize, it->second.get(),
+                  kBlockSize);
+    }  // else zeros
+  }
+  return out;
+}
+
+}  // namespace ncache::blockdev

@@ -1,0 +1,84 @@
+#include "common/bytes.h"
+
+#include <stdexcept>
+
+namespace ncache {
+
+void ByteWriter::u8(std::uint8_t v) { out_.push_back(std::byte{v}); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v >> 8));
+  u8(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v >> 16));
+  u16(static_cast<std::uint16_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::bytes(std::span<const std::byte> data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::zeros(std::size_t n) {
+  out_.insert(out_.end(), n, std::byte{0});
+}
+
+void ByteWriter::xdr_opaque(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(as_bytes(s));
+  std::size_t pad = (4 - (s.size() & 3)) & 3;
+  zeros(pad);
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (pos_ + n > in_.size()) {
+    throw std::out_of_range("ByteReader: truncated input");
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return std::to_integer<std::uint8_t>(in_[pos_++]);
+}
+
+std::uint16_t ByteReader::u16() {
+  std::uint16_t hi = u8();
+  return static_cast<std::uint16_t>((hi << 8) | u8());
+}
+
+std::uint32_t ByteReader::u32() {
+  std::uint32_t hi = u16();
+  return (hi << 16) | u16();
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t hi = u32();
+  return (hi << 32) | u32();
+}
+
+std::span<const std::byte> ByteReader::bytes(std::size_t n) {
+  need(n);
+  auto out = in_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+void ByteReader::skip(std::size_t n) {
+  need(n);
+  pos_ += n;
+}
+
+std::string ByteReader::xdr_opaque() {
+  std::uint32_t len = u32();
+  auto payload = bytes(len);
+  skip((4 - (len & 3)) & 3);
+  return std::string(as_string_view(payload));
+}
+
+}  // namespace ncache

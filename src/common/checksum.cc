@@ -1,0 +1,53 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace ncache {
+
+std::uint32_t checksum_accumulate(std::span<const std::byte> data,
+                                  std::uint32_t acc) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    acc += (std::to_integer<std::uint32_t>(data[i]) << 8) |
+           std::to_integer<std::uint32_t>(data[i + 1]);
+  }
+  if (i < data.size()) {
+    acc += std::to_integer<std::uint32_t>(data[i]) << 8;
+  }
+  return acc;
+}
+
+std::uint16_t checksum_finish(std::uint32_t acc) noexcept {
+  while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept {
+  return checksum_finish(checksum_accumulate(data, 0));
+}
+
+namespace {
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data,
+                    std::uint32_t seed) noexcept {
+  static const auto table = make_crc_table();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::byte b : data) {
+    c = table[(c ^ std::to_integer<std::uint32_t>(b)) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace ncache

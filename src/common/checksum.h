@@ -1,0 +1,30 @@
+// Checksums used on the simulated wire.
+//
+// The Internet checksum (RFC 1071) is computed over IP/UDP/TCP exactly as a
+// real stack would; whether its cost is charged to the host CPU depends on
+// the NIC's checksum-offload setting (the paper's testbed had offload
+// enabled). CRC32 is used by the block store to validate on-disk integrity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ncache {
+
+/// RFC 1071 ones-complement sum. `accumulate` lets callers fold multiple
+/// fragments (or a pseudo-header) into one checksum.
+std::uint32_t checksum_accumulate(std::span<const std::byte> data,
+                                  std::uint32_t acc) noexcept;
+
+/// Finalizes an accumulated sum into the 16-bit ones-complement checksum.
+std::uint16_t checksum_finish(std::uint32_t acc) noexcept;
+
+/// One-shot Internet checksum of a contiguous buffer.
+std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected).
+std::uint32_t crc32(std::span<const std::byte> data,
+                    std::uint32_t seed = 0) noexcept;
+
+}  // namespace ncache

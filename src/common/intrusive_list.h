@@ -1,0 +1,101 @@
+// Doubly-linked intrusive list used for LRU chains in the buffer cache and
+// the network-centric cache. Intrusive so that moving an entry to the MRU
+// end is O(1) with no allocation — the same property the kernel's list_head
+// gives the original implementation.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace ncache {
+
+struct ListHook {
+  ListHook* prev = nullptr;
+  ListHook* next = nullptr;
+
+  bool linked() const noexcept { return prev != nullptr; }
+};
+
+/// Intrusive list over T, where T derives from (or contains, via Hook
+/// member pointer access through static_cast) ListHook.
+template <typename T>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    sentinel_.prev = &sentinel_;
+    sentinel_.next = &sentinel_;
+  }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const noexcept { return sentinel_.next == &sentinel_; }
+  std::size_t size() const noexcept { return size_; }
+
+  void push_back(T& item) noexcept { insert_before(sentinel_, item); }
+  void push_front(T& item) noexcept { insert_before(*sentinel_.next, item); }
+
+  void remove(T& item) noexcept {
+    ListHook& h = item;
+    assert(h.linked());
+    h.prev->next = h.next;
+    h.next->prev = h.prev;
+    h.prev = h.next = nullptr;
+    --size_;
+  }
+
+  /// Moves an already-linked item to the back (MRU position).
+  void move_to_back(T& item) noexcept {
+    remove(item);
+    push_back(item);
+  }
+
+  T* front() noexcept {
+    return empty() ? nullptr : static_cast<T*>(sentinel_.next);
+  }
+  T* back() noexcept {
+    return empty() ? nullptr : static_cast<T*>(sentinel_.prev);
+  }
+
+  T* pop_front() noexcept {
+    T* f = front();
+    if (f) remove(*f);
+    return f;
+  }
+
+  /// Iteration support (forward only, non-invalidating for reads).
+  class iterator {
+   public:
+    explicit iterator(ListHook* at) : at_(at) {}
+    T& operator*() const noexcept { return *static_cast<T*>(at_); }
+    T* operator->() const noexcept { return static_cast<T*>(at_); }
+    iterator& operator++() noexcept {
+      at_ = at_->next;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const noexcept { return at_ != o.at_; }
+    bool operator==(const iterator& o) const noexcept { return at_ == o.at_; }
+
+   private:
+    ListHook* at_;
+  };
+
+  iterator begin() noexcept { return iterator(sentinel_.next); }
+  iterator end() noexcept { return iterator(&sentinel_); }
+
+ private:
+  void insert_before(ListHook& pos, T& item) noexcept {
+    ListHook& h = item;
+    assert(!h.linked());
+    h.prev = pos.prev;
+    h.next = &pos;
+    pos.prev->next = &h;
+    pos.prev = &h;
+    ++size_;
+  }
+
+  ListHook sentinel_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ncache

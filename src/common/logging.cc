@@ -1,0 +1,37 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace ncache::log {
+
+namespace {
+Level g_level = Level::Warn;
+
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) noexcept { g_level = level; }
+Level level() noexcept { return g_level; }
+bool enabled(Level l) noexcept { return l >= g_level && g_level != Level::Off; }
+
+void write(Level l, const char* tag, const char* fmt, ...) {
+  if (!enabled(l)) return;
+  std::fprintf(stderr, "[%-5s] %-10s ", level_name(l), tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace ncache::log

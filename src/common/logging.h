@@ -1,0 +1,40 @@
+// Minimal leveled logging for the NCache library.
+//
+// The simulation is single-threaded and deterministic, so logging is kept
+// deliberately simple: a global level, a printf-style macro front-end, and
+// stderr output. Benchmarks set the level to Warn so measurement loops stay
+// quiet.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace ncache::log {
+
+enum class Level : std::uint8_t { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Sets the global log threshold; messages below it are discarded.
+void set_level(Level level) noexcept;
+Level level() noexcept;
+
+/// True when a message at `l` would actually be emitted.
+bool enabled(Level l) noexcept;
+
+/// Emits one formatted line (printf-style) tagged with `tag`.
+void write(Level l, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace ncache::log
+
+#define NC_LOG(level, tag, ...)                                  \
+  do {                                                           \
+    if (::ncache::log::enabled(level)) {                         \
+      ::ncache::log::write(level, tag, __VA_ARGS__);             \
+    }                                                            \
+  } while (0)
+
+#define NC_TRACE(tag, ...) NC_LOG(::ncache::log::Level::Trace, tag, __VA_ARGS__)
+#define NC_DEBUG(tag, ...) NC_LOG(::ncache::log::Level::Debug, tag, __VA_ARGS__)
+#define NC_INFO(tag, ...) NC_LOG(::ncache::log::Level::Info, tag, __VA_ARGS__)
+#define NC_WARN(tag, ...) NC_LOG(::ncache::log::Level::Warn, tag, __VA_ARGS__)
+#define NC_ERROR(tag, ...) NC_LOG(::ncache::log::Level::Error, tag, __VA_ARGS__)

@@ -1,0 +1,74 @@
+// Deterministic PRNG (PCG32) used by all workload generators and the
+// simulation so that every run is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ncache {
+
+/// PCG-XSH-RR 64/32. Small, fast, and statistically solid; used instead of
+/// <random> engines so streams are stable across standard libraries.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) noexcept {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  std::uint32_t next() noexcept {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+  }
+
+  std::uint32_t operator()() noexcept { return next(); }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform integer in [0, bound) with Lemire rejection (unbiased).
+  std::uint32_t below(std::uint32_t bound) noexcept {
+    if (bound <= 1) return 0;
+    std::uint64_t m = std::uint64_t(next()) * bound;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      std::uint32_t t = (-bound) % bound;
+      while (lo < t) {
+        m = std::uint64_t(next()) * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    if (hi <= lo) return lo;
+    std::uint64_t span = hi - lo + 1;
+    // Compose two 32-bit draws for 64-bit spans.
+    std::uint64_t draw = (std::uint64_t(next()) << 32) | next();
+    return lo + draw % span;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return (next() >> 8) * (1.0 / 16777216.0);
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace ncache

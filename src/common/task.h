@@ -1,0 +1,226 @@
+// Minimal C++20 coroutine task used for all multi-step asynchronous logic
+// in the simulation (filesystem block walks, NFS daemon loops, iSCSI
+// exchanges). Tasks are lazy; awaiting one starts it with symmetric
+// transfer. `detach()` launches a fire-and-forget root task that owns
+// itself until completion (the idiom for daemon loops driven purely by
+// event-loop callbacks).
+//
+// The simulation is single-threaded, so no atomics are needed anywhere in
+// the continuation hand-off.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <utility>
+
+namespace ncache {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+  bool detached = false;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto& p = h.promise();
+      if (p.detached) {
+        // Root task: nobody awaits it. Surface swallowed exceptions hard —
+        // a silently-dead daemon loop is the worst failure mode in a sim.
+        if (p.error) std::rethrow_exception(p.error);
+        h.destroy();
+        return std::noop_coroutine();
+      }
+      if (p.continuation) return p.continuation;
+      return std::noop_coroutine();
+    }
+
+    void await_resume() noexcept {}
+  };
+
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// Lazily-started coroutine returning T. Move-only; owns the frame unless
+/// detached.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return bool(handle_); }
+  bool done() const noexcept { return handle_ && handle_.done(); }
+
+  /// Launches the task as a self-owning root coroutine.
+  void detach() && {
+    auto h = std::exchange(handle_, {});
+    h.promise().detached = true;
+    h.resume();
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      T await_resume() {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+        return std::move(*h.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return bool(handle_); }
+  bool done() const noexcept { return handle_ && handle_.done(); }
+
+  void detach() && {
+    auto h = std::exchange(handle_, {});
+    h.promise().detached = true;
+    h.resume();
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Adapts a callback-style async API into an awaitable:
+///
+///   AwaitCallback<T> awaiter([&](auto resolve) {
+///     api.start(args, std::move(resolve));
+///   });
+///   T v = co_await awaiter;
+///
+/// IMPORTANT: always bind the AwaitCallback to a named local as above and
+/// never `co_await AwaitCallback<T>(...)` directly. GCC 12 destroys
+/// non-trivial temporaries inside a co_await full-expression twice when
+/// the frame is torn down from final_suspend (detached root tasks), which
+/// double-frees the starter's captured state. Named locals are destroyed
+/// exactly once.
+///
+/// The starter MUST complete asynchronously (via the event loop); resolving
+/// synchronously from inside the starter would resume before suspension
+/// bookkeeping finishes and is rejected by an assert in debug builds.
+template <typename T>
+class AwaitCallback {
+ public:
+  using Resolve = std::function<void(T)>;
+
+  explicit AwaitCallback(std::function<void(Resolve)> starter)
+      : starter_(std::move(starter)) {}
+
+  bool await_ready() const noexcept { return false; }
+
+  void await_suspend(std::coroutine_handle<> h) {
+    starter_([this, h](T v) {
+      result_.emplace(std::move(v));
+      h.resume();
+    });
+  }
+
+  T await_resume() { return std::move(*result_); }
+
+ private:
+  std::function<void(Resolve)> starter_;
+  std::optional<T> result_;
+};
+
+}  // namespace ncache

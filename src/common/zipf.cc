@@ -1,0 +1,35 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ncache {
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) : alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (alpha < 0) throw std::invalid_argument("ZipfSampler: alpha must be >= 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(double(k + 1), alpha);
+    cdf_[k] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // guard against FP round-off
+}
+
+std::size_t ZipfSampler::sample(Pcg32& rng) const {
+  double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) throw std::out_of_range("ZipfSampler::pmf");
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace ncache

@@ -1,0 +1,34 @@
+// Zipf-distributed sampler for web-page popularity (SPECweb99-style
+// workloads follow Zipf's law; Breslau et al., INFOCOM'99).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ncache {
+
+/// Samples ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^alpha.
+///
+/// Uses a precomputed CDF and binary search: O(n) setup, O(log n) sample.
+/// Deterministic for a given RNG stream.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  /// Draws one rank in [0, size()).
+  std::size_t sample(Pcg32& rng) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double alpha() const noexcept { return alpha_; }
+
+  /// Probability mass of a single rank (for tests).
+  double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+  double alpha_ = 0.0;
+};
+
+}  // namespace ncache

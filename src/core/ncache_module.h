@@ -1,0 +1,72 @@
+// The NCache kernel module (§4.1): glue between the network-centric cache
+// and the rest of the pass-through server.
+//
+// Responsibilities, mirroring the paper's module boundaries:
+//   * ingestion hooks wired into the iSCSI initiator (LBN data arriving
+//     from storage) and the NFS server's write path (FHO data arriving
+//     from clients) — the "modified read/write interfaces" of Table 1;
+//   * the egress interceptor installed between the network stack and the
+//     Ethernet driver, substituting cached chains for key-bearing frames
+//     just before transmission (§3.2 step 6);
+//   * the remap hook fired when the fs flushes a key-bearing dirty block
+//     (§3.4);
+//   * the second-level-cache probe letting the initiator satisfy fs-cache
+//     misses from the LBN cache without touching the network (§3.4,
+//     "acts as a second-level cache with respect to the file system
+//     buffer cache").
+#pragma once
+
+#include "core/net_centric_cache.h"
+#include "iscsi/initiator.h"
+#include "proto/stack.h"
+
+namespace ncache::core {
+
+struct ModuleStats {
+  std::uint64_t frames_substituted = 0;
+  std::uint64_t keys_substituted = 0;
+  std::uint64_t substitution_misses = 0;  ///< key evicted before egress
+  std::uint64_t frames_passed = 0;        ///< frames with no keys (metadata)
+  std::uint64_t second_level_hits = 0;    ///< initiator reads served locally
+};
+
+class NCacheModule {
+ public:
+  NCacheModule(proto::NetworkStack& stack, NetCentricCache::Config config);
+
+  /// Installs the egress interceptor on every NIC of the host stack.
+  void attach_egress();
+
+  /// Wires the initiator's NCache seams: payload policy, LBN ingestion,
+  /// remap-on-flush, and the second-level-cache probe.
+  void attach_initiator(iscsi::IscsiInitiator& initiator);
+
+  // ---- hooks (also callable directly; the NFS/Web servers use these) --------
+  /// Ingests a physical chain for fs block `lbn`; returns the key-bearing
+  /// message that travels up instead. Falls back to the physical chain if
+  /// the cache cannot take it.
+  netbuf::MsgBuffer ingest_lbn(std::uint32_t target, std::uint64_t lbn,
+                               netbuf::MsgBuffer chain);
+
+  /// Ingests an NFS WRITE payload block; returns the key message.
+  netbuf::MsgBuffer ingest_fho(netbuf::FhoKey key, netbuf::MsgBuffer chain);
+
+  /// Remaps every FHO key in a flushed block payload to its disk LBN.
+  void remap_on_flush(std::uint32_t target, std::uint64_t lbn,
+                      const netbuf::MsgBuffer& payload);
+
+  /// The egress frame filter: materializes KeySegs from the cache. Never
+  /// drops frames; unresolvable keys become junk (and are counted).
+  bool egress_filter(proto::Frame& frame);
+
+  NetCentricCache& cache() noexcept { return cache_; }
+  const ModuleStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = ModuleStats{}; }
+
+ private:
+  proto::NetworkStack& stack_;
+  NetCentricCache cache_;
+  ModuleStats stats_;
+};
+
+}  // namespace ncache::core

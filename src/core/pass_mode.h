@@ -1,0 +1,19 @@
+// The three pass-through server configurations evaluated in the paper
+// (§5.1): the stock copying server, the NCache server, and the idealized
+// zero-copy baseline that ships junk payloads.
+#pragma once
+
+namespace ncache::core {
+
+enum class PassMode { Original, NCache, Baseline };
+
+inline const char* to_string(PassMode m) {
+  switch (m) {
+    case PassMode::Original: return "original";
+    case PassMode::NCache: return "ncache";
+    case PassMode::Baseline: return "baseline";
+  }
+  return "?";
+}
+
+}  // namespace ncache::core

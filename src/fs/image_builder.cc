@@ -1,0 +1,278 @@
+#include "fs/image_builder.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ncache::fs {
+
+void fill_content(std::uint32_t ino, std::uint64_t offset,
+                  std::span<std::byte> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = content_byte(ino, offset + i);
+  }
+}
+
+std::size_t verify_content(std::uint32_t ino, std::uint64_t offset,
+                           std::span<const std::byte> data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] != content_byte(ino, offset + i)) return i;
+  }
+  return std::size_t(-1);
+}
+
+FsImageBuilder::FsImageBuilder(blockdev::BlockStore& store,
+                               std::uint64_t total_blocks,
+                               std::uint32_t inode_count)
+    : store_(store), sb_(SuperBlock::make(total_blocks, inode_count)) {
+  if (total_blocks > store.capacity_blocks()) {
+    throw std::invalid_argument("FsImageBuilder: volume exceeds device");
+  }
+  inode_bitmap_.resize(std::size_t(sb_.inode_bitmap_blocks) * kBlockSize);
+  block_bitmap_.resize(std::size_t(sb_.block_bitmap_blocks) * kBlockSize);
+  inode_table_.resize(std::size_t(sb_.inode_table_blocks) * kBlockSize);
+
+  bitmap_set(inode_bitmap_, 0, true);
+  bitmap_set(inode_bitmap_, kRootIno, true);
+  for (std::uint64_t b = 0; b < sb_.data_start; ++b) {
+    bitmap_set(block_bitmap_, b, true);
+  }
+  next_block_ = sb_.data_start;
+
+  DiskInode root;
+  root.type = InodeType::Directory;
+  root.nlink = 2;
+  PendingInode pi{root};
+  std::vector<std::byte> bytes;
+  ByteWriter w(bytes);
+  pi.inode.serialize(w);
+  std::memcpy(inode_table_.data() + kRootIno * kInodeSize, bytes.data(),
+              kInodeSize);
+  dir_entries_[kRootIno] = {};
+}
+
+std::uint32_t FsImageBuilder::alloc_block_seq() {
+  if (next_block_ >= sb_.total_blocks) {
+    throw std::runtime_error("FsImageBuilder: volume full");
+  }
+  auto lbn = std::uint32_t(next_block_++);
+  bitmap_set(block_bitmap_, lbn, true);
+  return lbn;
+}
+
+std::uint64_t FsImageBuilder::map_file_blocks(DiskInode& inode,
+                                              std::uint64_t count) {
+  std::uint64_t first = next_block_;
+  for (std::uint64_t fb = 0; fb < count; ++fb) {
+    std::uint32_t lbn = alloc_block_seq();
+    if (fb < kDirectBlocks) {
+      inode.direct[fb] = lbn;
+      continue;
+    }
+    std::uint64_t ifb = fb - kDirectBlocks;
+    if (ifb < kPointersPerBlock) {
+      if (inode.indirect == kInvalidBlock) {
+        inode.indirect = lbn;  // use this block as the indirect block
+        lbn = alloc_block_seq();
+      }
+      // Patch the pointer directly in the store image.
+      std::vector<std::byte> ptr(4);
+      ptr[0] = std::byte(lbn >> 24);
+      ptr[1] = std::byte(lbn >> 16);
+      ptr[2] = std::byte(lbn >> 8);
+      ptr[3] = std::byte(lbn);
+      auto blk = store_.peek(inode.indirect, 1);
+      std::memcpy(blk.data() + ifb * 4, ptr.data(), 4);
+      store_.poke(inode.indirect, blk);
+      continue;
+    }
+    std::uint64_t dfb = ifb - kPointersPerBlock;
+    if (dfb >= kPointersPerBlock * kPointersPerBlock) {
+      throw std::runtime_error("FsImageBuilder: file too large");
+    }
+    if (inode.double_indirect == kInvalidBlock) {
+      inode.double_indirect = lbn;
+      lbn = alloc_block_seq();
+    }
+    std::size_t l1_slot = dfb / kPointersPerBlock;
+    auto di = store_.peek(inode.double_indirect, 1);
+    ByteReader r({di.data() + l1_slot * 4, 4});
+    std::uint32_t l1 = r.u32();
+    if (l1 == kInvalidBlock) {
+      l1 = lbn;
+      lbn = alloc_block_seq();
+      di[l1_slot * 4] = std::byte(l1 >> 24);
+      di[l1_slot * 4 + 1] = std::byte(l1 >> 16);
+      di[l1_slot * 4 + 2] = std::byte(l1 >> 8);
+      di[l1_slot * 4 + 3] = std::byte(l1);
+      store_.poke(inode.double_indirect, di);
+      // Zero the fresh L1 block.
+      store_.poke(l1, std::vector<std::byte>(kBlockSize));
+    }
+    auto l1blk = store_.peek(l1, 1);
+    std::size_t slot = dfb % kPointersPerBlock;
+    l1blk[slot * 4] = std::byte(lbn >> 24);
+    l1blk[slot * 4 + 1] = std::byte(lbn >> 16);
+    l1blk[slot * 4 + 2] = std::byte(lbn >> 8);
+    l1blk[slot * 4 + 3] = std::byte(lbn);
+    store_.poke(l1, l1blk);
+  }
+  inode.block_count = std::uint32_t(count);
+  return first;
+}
+
+std::uint32_t FsImageBuilder::lbn_for(const DiskInode& inode,
+                                      std::uint64_t fb) const {
+  if (fb < kDirectBlocks) return inode.direct[fb];
+  std::uint64_t ifb = fb - kDirectBlocks;
+  if (ifb < kPointersPerBlock) {
+    auto blk = store_.peek(inode.indirect, 1);
+    ByteReader r({blk.data() + ifb * 4, 4});
+    return r.u32();
+  }
+  std::uint64_t dfb = ifb - kPointersPerBlock;
+  auto di = store_.peek(inode.double_indirect, 1);
+  ByteReader r1({di.data() + (dfb / kPointersPerBlock) * 4, 4});
+  auto l1 = store_.peek(r1.u32(), 1);
+  ByteReader r2({l1.data() + (dfb % kPointersPerBlock) * 4, 4});
+  return r2.u32();
+}
+
+std::uint32_t FsImageBuilder::add_common(std::string_view name, InodeType type,
+                                         std::uint32_t parent) {
+  if (finished_) throw std::logic_error("FsImageBuilder: already finished");
+  if (name.empty() || name.size() > kMaxNameLen) return 0;
+  if (next_ino_ >= sb_.inode_count) return 0;
+  if (!dir_entries_.contains(parent)) return 0;
+
+  std::uint32_t ino = next_ino_++;
+  bitmap_set(inode_bitmap_, ino, true);
+  dir_entries_[parent].push_back(Dirent{ino, type, std::string(name)});
+  if (type == InodeType::Directory) dir_entries_[ino] = {};
+  return ino;
+}
+
+std::uint32_t FsImageBuilder::add_file(std::string_view name,
+                                       std::uint64_t size,
+                                       std::uint32_t parent) {
+  std::uint32_t ino = add_common(name, InodeType::File, parent);
+  if (ino == 0) return 0;
+
+  DiskInode inode;
+  inode.type = InodeType::File;
+  inode.nlink = 1;
+  inode.size = size;
+  std::uint64_t blocks = (size + kBlockSize - 1) / kBlockSize;
+  if (blocks > 0) {
+    map_file_blocks(inode, blocks);
+    // Fill the deterministic pattern, one block at a time (blocks are
+    // contiguous by construction, with indirect blocks interleaved; use
+    // the mapping we just wrote).
+    std::vector<std::byte> buf(kBlockSize);
+    for (std::uint64_t fb = 0; fb < blocks; ++fb) {
+      fill_content(ino, fb * kBlockSize, buf);
+      store_.poke(lbn_for(inode, fb), buf);
+    }
+  }
+  std::vector<std::byte> bytes;
+  ByteWriter w(bytes);
+  inode.serialize(w);
+  std::memcpy(inode_table_.data() + std::size_t(ino) * kInodeSize,
+              bytes.data(), kInodeSize);
+  return ino;
+}
+
+std::uint32_t FsImageBuilder::add_file_with_content(
+    std::string_view name, std::span<const std::byte> content,
+    std::uint32_t parent) {
+  std::uint32_t ino = add_common(name, InodeType::File, parent);
+  if (ino == 0) return 0;
+
+  DiskInode inode;
+  inode.type = InodeType::File;
+  inode.nlink = 1;
+  inode.size = content.size();
+  std::uint64_t blocks = (content.size() + kBlockSize - 1) / kBlockSize;
+  if (blocks > 0) {
+    map_file_blocks(inode, blocks);
+    std::vector<std::byte> buf(kBlockSize);
+    for (std::uint64_t fb = 0; fb < blocks; ++fb) {
+      std::fill(buf.begin(), buf.end(), std::byte{0});
+      std::size_t off = fb * kBlockSize;
+      std::size_t take = std::min<std::size_t>(kBlockSize, content.size() - off);
+      std::memcpy(buf.data(), content.data() + off, take);
+      store_.poke(lbn_for(inode, fb), buf);
+    }
+  }
+  std::vector<std::byte> bytes;
+  ByteWriter w(bytes);
+  inode.serialize(w);
+  std::memcpy(inode_table_.data() + std::size_t(ino) * kInodeSize,
+              bytes.data(), kInodeSize);
+  return ino;
+}
+
+std::uint32_t FsImageBuilder::add_dir(std::string_view name,
+                                      std::uint32_t parent) {
+  std::uint32_t ino = add_common(name, InodeType::Directory, parent);
+  if (ino == 0) return 0;
+  DiskInode inode;
+  inode.type = InodeType::Directory;
+  inode.nlink = 2;
+  std::vector<std::byte> bytes;
+  ByteWriter w(bytes);
+  inode.serialize(w);
+  std::memcpy(inode_table_.data() + std::size_t(ino) * kInodeSize,
+              bytes.data(), kInodeSize);
+  return ino;
+}
+
+void FsImageBuilder::finish() {
+  if (finished_) throw std::logic_error("FsImageBuilder: already finished");
+
+  // Materialize directory blocks.
+  for (auto& [dir_ino, entries] : dir_entries_) {
+    std::uint64_t blocks =
+        (entries.size() + kDirentsPerBlock - 1) / kDirentsPerBlock;
+    std::vector<std::byte> inode_bytes(
+        inode_table_.begin() + std::size_t(dir_ino) * kInodeSize,
+        inode_table_.begin() + std::size_t(dir_ino + 1) * kInodeSize);
+    ByteReader r(inode_bytes);
+    DiskInode dir = DiskInode::parse(r);
+    if (blocks > 0) {
+      map_file_blocks(dir, blocks);
+      std::vector<std::byte> buf(kBlockSize);
+      for (std::uint64_t fb = 0; fb < blocks; ++fb) {
+        std::fill(buf.begin(), buf.end(), std::byte{0});
+        std::vector<std::byte> tmp;
+        ByteWriter w(tmp);
+        for (std::size_t i = fb * kDirentsPerBlock;
+             i < std::min(entries.size(), (fb + 1) * kDirentsPerBlock); ++i) {
+          entries[i].serialize(w);
+        }
+        std::memcpy(buf.data(), tmp.data(), tmp.size());
+        store_.poke(lbn_for(dir, fb), buf);
+      }
+    }
+    dir.size = blocks * kBlockSize;
+    std::vector<std::byte> out;
+    ByteWriter w(out);
+    dir.serialize(w);
+    std::memcpy(inode_table_.data() + std::size_t(dir_ino) * kInodeSize,
+                out.data(), kInodeSize);
+  }
+
+  auto sb_bytes = std::vector<std::byte>(kBlockSize);
+  {
+    std::vector<std::byte> tmp;
+    ByteWriter w(tmp);
+    sb_.serialize(w);
+    std::memcpy(sb_bytes.data(), tmp.data(), tmp.size());
+  }
+  store_.poke(0, sb_bytes);
+  store_.poke(sb_.inode_bitmap_start, inode_bitmap_);
+  store_.poke(sb_.block_bitmap_start, block_bitmap_);
+  store_.poke(sb_.inode_table_start, inode_table_);
+  finished_ = true;
+}
+
+}  // namespace ncache::fs

@@ -1,0 +1,77 @@
+// HTTP/1.1 client with keep-alive: drives kHTTPd in tests, examples and
+// the SPECweb99-style benchmarks.
+//
+// One HttpClient owns one TCP connection and issues sequential GETs on it
+// (benchmarks open several clients for concurrency, like the paper's two
+// client machines do). Body bytes are copied out to the "application"
+// (charged to the client CPU) unless they are baseline junk.
+#pragma once
+
+#include <deque>
+
+#include "fs/image_builder.h"
+#include "proto/stack.h"
+
+namespace ncache::http {
+
+struct HttpClientStats {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t body_bytes = 0;
+};
+
+class HttpClient {
+ public:
+  HttpClient(proto::NetworkStack& stack, proto::Ipv4Addr local_ip,
+             proto::Ipv4Addr server_ip, std::uint16_t server_port = 80);
+
+  /// Establishes the TCP connection (call once before get()).
+  Task<bool> connect();
+  bool connected() const noexcept { return conn_ && conn_->established(); }
+
+  struct Response {
+    int status = 0;
+    std::uint64_t content_length = 0;
+    netbuf::MsgBuffer body;  ///< physical bytes, or junk under baseline
+    bool junk = false;
+  };
+
+  /// Issues one GET and awaits the complete response. Requests on one
+  /// client are strictly sequential.
+  Task<Response> get(std::string_view path);
+
+  /// GET that drops the body after accounting (used by throughput loops
+  /// to avoid accumulating buffers; the copy-out is still charged).
+  Task<int> get_discard(std::string_view path);
+
+  /// HTTP/1.0 style: open a fresh TCP connection per request and send
+  /// "Connection: close" (the SPECweb99-era access pattern). get() then
+  /// handles connect/teardown itself.
+  void set_connection_per_request(bool v) noexcept { per_request_conn_ = v; }
+
+  const HttpClientStats& stats() const noexcept { return stats_; }
+
+ private:
+  void on_data(netbuf::MsgBuffer m);
+  Task<Response> read_response();
+
+  proto::NetworkStack& stack_;
+  proto::Ipv4Addr local_ip_;
+  proto::Ipv4Addr server_ip_;
+  std::uint16_t server_port_;
+  proto::TcpConnectionPtr conn_;
+
+  // Response parser state.
+  std::string header_acc_;
+  bool in_body_ = false;
+  std::uint64_t body_need_ = 0;
+  netbuf::MsgBuffer body_acc_;
+  int status_ = 0;
+
+  std::function<void(Response)> waiter_;
+  bool per_request_conn_ = false;
+  HttpClientStats stats_;
+};
+
+}  // namespace ncache::http

@@ -1,0 +1,162 @@
+#include "http/khttpd.h"
+
+#include "common/logging.h"
+
+namespace ncache::http {
+
+using core::PassMode;
+using netbuf::CopyClass;
+using netbuf::MsgBuffer;
+
+KHttpd::KHttpd(proto::NetworkStack& stack, fs::SimpleFs& fs, Config config,
+               core::NCacheModule* ncache)
+    : stack_(stack), fs_(fs), config_(config), ncache_(ncache) {
+  if (config_.mode == PassMode::NCache && !ncache_) {
+    throw std::invalid_argument("KHttpd: NCache mode requires the module");
+  }
+}
+
+void KHttpd::start() {
+  stack_.tcp_listen(config_.port, [this](proto::TcpConnectionPtr c) {
+    on_accept(std::move(c));
+  });
+}
+
+void KHttpd::on_accept(proto::TcpConnectionPtr conn) {
+  ++stats_.connections;
+  stack_.cpu().charge(stack_.costs().tcp_connection_ns);
+  auto c = std::make_shared<Connection>(*this, std::move(conn));
+  c->conn->set_data_handler([c](MsgBuffer m) { c->on_data(std::move(m)); });
+  c->conn->set_on_close([this, c] { std::erase(connections_, c); });
+  connections_.push_back(std::move(c));
+}
+
+void KHttpd::Connection::on_data(MsgBuffer m) {
+  // Requests are tiny (one MTU); header bytes are interpreted, i.e.
+  // metadata: parse them out of the socket without a counted data copy.
+  auto bytes = m.to_bytes();
+  inbox.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+
+  // Parse complete requests ("\r\n\r\n"-terminated).
+  std::size_t pos;
+  while ((pos = inbox.find("\r\n\r\n")) != std::string::npos) {
+    std::string head = inbox.substr(0, pos);
+    inbox.erase(0, pos + 4);
+    ++server.stats_.requests;
+
+    // Request line: METHOD SP PATH SP VERSION
+    std::size_t sp1 = head.find(' ');
+    std::size_t sp2 = head.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        head.substr(0, sp1) != "GET") {
+      ++server.stats_.responses_400;
+      conn->send(MsgBuffer::from_string(
+          "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n"));
+      continue;
+    }
+    if (head.find("Connection: close") != std::string::npos) {
+      close_after = true;  // HTTP/1.0-style non-persistent connection
+    }
+    pipeline.push_back(head.substr(sp1 + 1, sp2 - sp1 - 1));
+  }
+  pump();
+}
+
+void KHttpd::Connection::pump() {
+  if (busy || pipeline.empty()) return;
+  busy = true;
+  std::string path = std::move(pipeline.front());
+  pipeline.pop_front();
+  serve_and_continue(std::move(path)).detach();
+}
+
+Task<void> KHttpd::Connection::serve_and_continue(std::string path) {
+  auto self = shared_from_this();  // outlive the TCP connection's handlers
+  co_await serve(std::move(path));
+  busy = false;
+  if (close_after && pipeline.empty()) {
+    server.stack_.cpu().charge(server.stack_.costs().tcp_connection_ns / 2);
+    conn->close();
+    co_return;
+  }
+  pump();
+}
+
+Task<std::optional<std::uint32_t>> KHttpd::resolve(std::string_view path) {
+  std::uint32_t at = fs::kRootIno;
+  std::size_t pos = 0;
+  if (!path.empty() && path[0] == '/') pos = 1;
+  while (pos < path.size()) {
+    std::size_t next = path.find('/', pos);
+    if (next == std::string_view::npos) next = path.size();
+    std::string_view part = path.substr(pos, next - pos);
+    if (!part.empty()) {
+      auto found = co_await fs_.lookup(at, part);
+      if (!found) co_return std::nullopt;
+      at = *found;
+    }
+    pos = next + 1;
+  }
+  if (at == fs::kRootIno) co_return std::nullopt;  // directory index: none
+  co_return at;
+}
+
+Task<void> KHttpd::Connection::serve(std::string path) {
+  auto& stack = server.stack_;
+  // Per-request server work (parse, dentry walk, socket bookkeeping).
+  co_await stack.cpu().run(stack.costs().request_ns);
+
+  auto ino = co_await server.resolve(path);
+  if (!ino) {
+    ++server.stats_.responses_404;
+    conn->send(MsgBuffer::from_string(
+        "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"));
+    co_return;
+  }
+  fs::FileAttr attr = co_await server.fs_.getattr(*ino);
+  if (attr.type != fs::InodeType::File) {
+    ++server.stats_.responses_404;
+    conn->send(MsgBuffer::from_string(
+        "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"));
+    co_return;
+  }
+
+  ++server.stats_.responses_200;
+  std::string head = "HTTP/1.1 200 OK\r\nServer: kHTTPd-sim\r\nContent-Length: " +
+                     std::to_string(attr.size) + "\r\n\r\n";
+  // Reply headers pass through the normal (metadata) path (§4.3: "for
+  // packets carrying HTTP reply headers, NCache lets them go through").
+  conn->send(stack.copier().copy_bytes_in(as_bytes(head),
+                                          CopyClass::Metadata));
+
+  // sendfile loop: move the body chunk-by-chunk from the fs cache to the
+  // socket.
+  std::uint64_t off = 0;
+  while (off < attr.size) {
+    auto want = std::uint32_t(std::min<std::uint64_t>(
+        server.config_.chunk_bytes, attr.size - off));
+    MsgBuffer data = co_await server.fs_.read(*ino, off, want);
+    if (data.size() != want) {
+      conn->reset();  // truncated file mid-response: abort the connection
+      co_return;
+    }
+    MsgBuffer out;
+    switch (server.config_.mode) {
+      case PassMode::Original:
+        // sendfile(): exactly one copy, page cache -> socket buffers.
+        out = stack.copier().copy_message(data, CopyClass::RegularData);
+        break;
+      case PassMode::NCache:
+        out = stack.copier().logical_copy(data);
+        break;
+      case PassMode::Baseline:
+        out = MsgBuffer::junk(std::uint32_t(data.size()));
+        break;
+    }
+    server.stats_.body_bytes += out.size();
+    conn->send(std::move(out));
+    off += want;
+  }
+}
+
+}  // namespace ncache::http

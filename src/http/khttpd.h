@@ -1,0 +1,83 @@
+// kHTTPd: the in-kernel static web server (§4.3), second pass-through
+// application of NCache.
+//
+// Serves GET requests for static files over TCP with keep-alive. The data
+// path per mode:
+//   * Original — the sendfile() path: ONE copy per request, page cache ->
+//     socket (Table 2: kHTTPd hit = 1 copy, miss = 2 with the initiator's);
+//   * NCache — response headers pass through untouched; body blocks travel
+//     as keys and are substituted at the NIC ("for packets associated with
+//     web page contents, NCache retrieves the real content from its own
+//     cache and substitutes them", §4.3);
+//   * Baseline — body elided (junk), the zero-copy yardstick.
+#pragma once
+
+#include <deque>
+
+#include "core/ncache_module.h"
+#include "core/pass_mode.h"
+#include "fs/simple_fs.h"
+#include "proto/stack.h"
+
+namespace ncache::http {
+
+struct KHttpdStats {
+  std::uint64_t requests = 0;
+  std::uint64_t responses_200 = 0;
+  std::uint64_t responses_404 = 0;
+  std::uint64_t responses_400 = 0;
+  std::uint64_t body_bytes = 0;
+  std::uint64_t connections = 0;
+};
+
+class KHttpd {
+ public:
+  struct Config {
+    core::PassMode mode = core::PassMode::Original;
+    std::uint16_t port = 80;
+    /// sendfile chunk: how much file data each fs read moves.
+    std::uint32_t chunk_bytes = 64 * 1024;
+  };
+
+  KHttpd(proto::NetworkStack& stack, fs::SimpleFs& fs, Config config,
+         core::NCacheModule* ncache = nullptr);
+
+  void start();
+
+  const KHttpdStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = KHttpdStats{}; }
+  core::PassMode mode() const noexcept { return config_.mode; }
+
+ private:
+  struct Connection : std::enable_shared_from_this<Connection> {
+    Connection(KHttpd& s, proto::TcpConnectionPtr c)
+        : server(s), conn(std::move(c)) {}
+
+    KHttpd& server;
+    proto::TcpConnectionPtr conn;
+    std::string inbox;        ///< accumulated request bytes
+    bool busy = false;        ///< a request is being served
+    bool close_after = false; ///< client sent Connection: close
+    std::deque<std::string> pipeline;  ///< parsed paths awaiting service
+
+    void on_data(netbuf::MsgBuffer m);
+    void pump();
+    Task<void> serve(std::string path);
+    /// Root coroutine per request: keeps the connection alive, serves,
+    /// then pumps the pipeline.
+    Task<void> serve_and_continue(std::string path);
+  };
+
+  void on_accept(proto::TcpConnectionPtr conn);
+  /// Resolves an URL path ("/a/b.html") to an inode.
+  Task<std::optional<std::uint32_t>> resolve(std::string_view path);
+
+  proto::NetworkStack& stack_;
+  fs::SimpleFs& fs_;
+  Config config_;
+  core::NCacheModule* ncache_;
+  KHttpdStats stats_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace ncache::http

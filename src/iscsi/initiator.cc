@@ -1,0 +1,262 @@
+#include "iscsi/initiator.h"
+
+#include "common/logging.h"
+
+namespace ncache::iscsi {
+
+using netbuf::CopyClass;
+using netbuf::MsgBuffer;
+
+IscsiInitiator::IscsiInitiator(proto::NetworkStack& stack,
+                               proto::Ipv4Addr local_ip,
+                               proto::Ipv4Addr target_ip,
+                               std::uint32_t target_id,
+                               std::uint16_t target_port)
+    : stack_(stack),
+      local_ip_(local_ip),
+      target_ip_(target_ip),
+      target_id_(target_id),
+      target_port_(target_port) {}
+
+Task<bool> IscsiInitiator::login() {
+  conn_ = co_await stack_.tcp_connect(local_ip_, target_ip_, target_port_);
+  conn_->set_data_handler(
+      [this](MsgBuffer m) { on_stream(std::move(m)); });
+
+  Pdu req;
+  req.opcode = Opcode::LoginRequest;
+  req.data = MsgBuffer::from_string(
+      "InitiatorName=iqn.2005.ncache:appserver MaxRecvDataSegmentLength=8192");
+  Pdu resp = co_await send_and_wait(std::move(req));
+  co_return resp.opcode == Opcode::LoginResponse;
+}
+
+void IscsiInitiator::on_stream(MsgBuffer chunk) {
+  parser_.feed(std::move(chunk), [this](Pdu p) { on_pdu(std::move(p)); });
+}
+
+void IscsiInitiator::on_pdu(Pdu pdu) {
+  auto it = pending_.find(pdu.itt);
+  if (it == pending_.end()) {
+    ++stats_.errors;
+    NC_WARN("iscsi", "initiator: PDU for unknown ITT %u", pdu.itt);
+    return;
+  }
+  if (pdu.opcode == Opcode::ScsiDataIn) {
+    it->second.accumulated.append(std::move(pdu.data));
+    return;
+  }
+  // Terminal PDU for this task.
+  if (it->second.on_response) {
+    auto handler = std::move(it->second.on_response);
+    handler(std::move(pdu));
+  } else {
+    it->second.early_response = std::move(pdu);
+  }
+}
+
+std::uint32_t IscsiInitiator::send_tracked(Pdu pdu) {
+  pdu.itt = next_itt_++;
+  pdu.cmd_sn = cmd_sn_++;
+  std::uint32_t itt = pdu.itt;
+  pending_[itt];  // create the slot before the response can race in
+  conn_->send(pdu.to_stream());
+  return itt;
+}
+
+Task<Pdu> IscsiInitiator::wait_response(std::uint32_t itt) {
+  AwaitCallback<Pdu> awaiter([this, itt](auto resolve) {
+    auto r = std::make_shared<decltype(resolve)>(std::move(resolve));
+    auto& slot = pending_[itt];
+    if (slot.early_response) {
+      // Response already arrived; finish on the next loop turn (the
+      // AwaitCallback contract forbids synchronous resolution).
+      auto early = std::make_shared<Pdu>(std::move(*slot.early_response));
+      slot.early_response.reset();
+      stack_.loop().schedule_in(0, [r, early] { (*r)(std::move(*early)); });
+    } else {
+      slot.on_response = [r](Pdu p) { (*r)(std::move(p)); };
+    }
+  });
+  co_return co_await awaiter;
+}
+
+Task<Pdu> IscsiInitiator::send_and_wait(Pdu pdu) {
+  std::uint32_t itt = send_tracked(std::move(pdu));
+  co_return co_await wait_response(itt);
+}
+
+Task<bool> IscsiInitiator::ping() {
+  Pdu nop;
+  nop.opcode = Opcode::NopOut;
+  nop.data = MsgBuffer::from_string("ping");
+  Pdu resp = co_await send_and_wait(std::move(nop));
+  bool ok = resp.opcode == Opcode::NopIn;
+  pending_.erase(resp.itt);
+  co_return ok;
+}
+
+Task<MsgBuffer> IscsiInitiator::read_blocks(std::uint64_t lbn,
+                                            std::uint32_t count,
+                                            bool metadata) {
+  // Second-level-cache check (§3.4): when every requested block already
+  // sits in the network-centric cache, the fs-cache miss is absorbed
+  // locally — no iSCSI round trip, no storage-server work.
+  if (!metadata && policy_ == PayloadPolicy::NCache && probe_) {
+    bool all_present = true;
+    for (std::uint32_t i = 0; i < count && all_present; ++i) {
+      all_present = probe_(lbn + i);
+    }
+    if (all_present) {
+      // Inline kernel-context work: charge the CPU without a scheduling
+      // round trip (a blocking wait here would serialize every cache hit
+      // behind the whole CPU queue under load).
+      stack_.cpu().charge(stack_.costs().ncache_manage_ns);
+      MsgBuffer keys;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        keys.append(MsgBuffer::from_key(
+            netbuf::LbnKey{target_id_, lbn + i}, 0,
+            std::uint32_t(kScsiBlockSize)));
+      }
+      ++stats_.reads;
+      stats_.read_bytes += keys.size();
+      co_return keys;
+    }
+  }
+
+  Pdu cmd;
+  cmd.opcode = Opcode::ScsiCommand;
+  cmd.expected_length = count * std::uint32_t(kScsiBlockSize);
+  cmd.cdb = make_rw_cdb(
+      ScsiRw{false, std::uint32_t(lbn), std::uint16_t(count)});
+
+  ++stats_.reads;
+  Pdu resp = co_await send_and_wait(std::move(cmd));
+  MsgBuffer chain = std::move(pending_[resp.itt].accumulated);
+  pending_.erase(resp.itt);
+
+  if (resp.status != ScsiStatus::Good ||
+      chain.size() != count * kScsiBlockSize) {
+    ++stats_.errors;
+    co_return MsgBuffer{};
+  }
+  stats_.read_bytes += chain.size();
+
+  auto& copier = stack_.copier();
+  if (metadata) {
+    // Metadata is interpreted above: always physically copied up.
+    co_return copier.copy_message(chain, CopyClass::Metadata);
+  }
+  switch (policy_) {
+    case PayloadPolicy::Copy:
+      // NFS-original read path, copy #1: network buffers -> block buffer.
+      co_return copier.copy_message(chain, CopyClass::RegularData);
+    case PayloadPolicy::NCache: {
+      if (ingest_) {
+        ++stats_.ingests;
+        // Payload chains enter the LBN cache block-by-block; keys travel up.
+        MsgBuffer keys;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          keys.append(ingest_(
+              lbn + i, chain.slice(std::size_t(i) * kScsiBlockSize,
+                                   kScsiBlockSize)));
+        }
+        co_return keys;
+      }
+      co_return copier.logical_copy(chain);
+    }
+    case PayloadPolicy::Junk:
+      co_return MsgBuffer::junk(std::uint32_t(chain.size()));
+  }
+  co_return MsgBuffer{};
+}
+
+Task<bool> IscsiInitiator::write_blocks(std::uint64_t lbn, MsgBuffer data,
+                                        bool metadata) {
+  if (data.size() % kScsiBlockSize != 0) {
+    throw std::invalid_argument("write_blocks: unaligned payload");
+  }
+  auto count = std::uint32_t(data.size() / kScsiBlockSize);
+  auto& copier = stack_.copier();
+
+  MsgBuffer wire;
+  if (metadata) {
+    wire = copier.copy_message(data, CopyClass::Metadata);
+  } else {
+    switch (policy_) {
+      case PayloadPolicy::Copy:
+        // NFS-original flush path, copy #2: block buffer -> socket.
+        wire = copier.copy_message(data, CopyClass::RegularData);
+        break;
+      case PayloadPolicy::NCache: {
+        // Remap dirty FHO entries to the LBNs this flush assigns (§3.4),
+        // then ship the key-bearing chain; the egress interceptor
+        // materializes it below the stack.
+        if (remap_ && data.has_keys()) {
+          for (std::uint32_t i = 0; i < count; ++i) {
+            MsgBuffer slice =
+                data.slice(std::size_t(i) * kScsiBlockSize, kScsiBlockSize);
+            if (slice.has_keys()) {
+              ++stats_.remaps;
+              remap_(lbn + i, slice);
+            }
+          }
+        }
+        wire = copier.logical_copy(data);
+        break;
+      }
+      case PayloadPolicy::Junk:
+        wire = MsgBuffer::junk(std::uint32_t(data.size()));
+        break;
+    }
+  }
+
+  Pdu cmd;
+  cmd.opcode = Opcode::ScsiCommand;
+  cmd.expected_length = std::uint32_t(data.size());
+  cmd.cdb = make_rw_cdb(ScsiRw{true, std::uint32_t(lbn), std::uint16_t(count)});
+  ++stats_.writes;
+  stats_.write_bytes += data.size();
+
+  // Command first, then its Data-Out PDUs back-to-back, then await status.
+  std::uint32_t itt = send_tracked(std::move(cmd));
+  std::uint32_t off = 0, dsn = 0;
+  while (off < wire.size()) {
+    auto take = std::uint32_t(
+        std::min<std::size_t>(kMaxDataSegment, wire.size() - off));
+    Pdu dout;
+    dout.opcode = Opcode::ScsiDataOut;
+    dout.itt = itt;
+    dout.data_sn = dsn++;
+    dout.buffer_offset = off;
+    dout.final_flag = off + take == wire.size();
+    dout.data = wire.slice(off, take);
+    conn_->send(dout.to_stream());
+    off += take;
+  }
+
+  Pdu resp = co_await wait_response(itt);
+  pending_.erase(resp.itt);
+  co_return resp.status == ScsiStatus::Good;
+}
+
+// ---------------------------------------------------------------------------
+
+Task<MsgBuffer> LocalBlockClient::read_blocks(std::uint64_t lbn,
+                                              std::uint32_t count,
+                                              bool metadata) {
+  auto bytes = co_await store_.read(lbn, count);
+  co_return copier_.copy_bytes_in(
+      bytes, metadata ? CopyClass::Metadata : CopyClass::RegularData);
+}
+
+Task<bool> LocalBlockClient::write_blocks(std::uint64_t lbn, MsgBuffer data,
+                                          bool metadata) {
+  (void)metadata;
+  std::vector<std::byte> bytes(data.size());
+  data.copy_out(bytes);
+  co_await store_.write(lbn, std::move(bytes));
+  co_return true;
+}
+
+}  // namespace ncache::iscsi

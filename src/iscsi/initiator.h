@@ -1,0 +1,145 @@
+// iSCSI initiator: the app server's block client.
+//
+// This is one of the two places the paper modifies the kernel (<150 lines,
+// Table 1): the initiator's socket call sites are switched to the extended
+// zero-copy interface, and NCache attaches two hooks here:
+//
+//   * ingest hook — when a Data-In payload for *regular file data*
+//     completes, the payload chain is inserted into the LBN cache and a
+//     key-bearing message travels up instead (the §3.2 flow, steps 2-3);
+//   * remap hook — when a key-bearing dirty block is flushed, the FHO
+//     cache entry is remapped to the LBN named in the write (§3.4).
+//
+// Metadata transfers always use the classic copy path, so the file system
+// above can interpret them.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "blockdev/block_store.h"
+#include "iscsi/pdu.h"
+#include "proto/stack.h"
+
+namespace ncache::iscsi {
+
+/// How the initiator represents completed *regular data* read payloads.
+enum class PayloadPolicy {
+  Copy,    ///< physical copy into a contiguous buffer (NFS-original)
+  NCache,  ///< hand to the ingest hook; keys travel up (NFS-NCache)
+  Junk,    ///< placeholder only, no data movement (NFS-baseline)
+};
+
+/// Abstract async block client so the file system can also run directly on
+/// a local BlockStore in unit tests.
+class BlockClient {
+ public:
+  virtual ~BlockClient() = default;
+
+  /// Reads `count` fs blocks at `lbn`. `metadata` is the inode-type hint
+  /// (§3.3) that classifies the payload.
+  virtual Task<netbuf::MsgBuffer> read_blocks(std::uint64_t lbn,
+                                              std::uint32_t count,
+                                              bool metadata) = 0;
+  /// Writes whole blocks; payload may be logical (key-bearing).
+  virtual Task<bool> write_blocks(std::uint64_t lbn, netbuf::MsgBuffer data,
+                                  bool metadata) = 0;
+};
+
+struct InitiatorStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t ingests = 0;
+  std::uint64_t remaps = 0;
+  std::uint64_t errors = 0;
+};
+
+class IscsiInitiator final : public BlockClient {
+ public:
+  using IngestHook =
+      std::function<netbuf::MsgBuffer(std::uint64_t lbn, netbuf::MsgBuffer)>;
+  using RemapHook =
+      std::function<void(std::uint64_t lbn, const netbuf::MsgBuffer&)>;
+  /// Presence probe into the LBN cache: when every block of a regular-data
+  /// read is already cached, the read is served locally (the
+  /// network-centric cache acting as second-level cache, §3.4).
+  using LbnProbe = std::function<bool(std::uint64_t lbn)>;
+
+  IscsiInitiator(proto::NetworkStack& stack, proto::Ipv4Addr local_ip,
+                 proto::Ipv4Addr target_ip, std::uint32_t target_id,
+                 std::uint16_t target_port = kIscsiPort);
+
+  /// Connects the TCP session and performs login. Must complete before I/O.
+  Task<bool> login();
+  bool connected() const noexcept { return conn_ && conn_->established(); }
+
+  Task<netbuf::MsgBuffer> read_blocks(std::uint64_t lbn, std::uint32_t count,
+                                      bool metadata) override;
+  Task<bool> write_blocks(std::uint64_t lbn, netbuf::MsgBuffer data,
+                          bool metadata) override;
+
+  /// Round-trip liveness probe (NOP-Out / NOP-In).
+  Task<bool> ping();
+
+  void set_payload_policy(PayloadPolicy p) noexcept { policy_ = p; }
+  PayloadPolicy payload_policy() const noexcept { return policy_; }
+  void set_ingest_hook(IngestHook h) { ingest_ = std::move(h); }
+  void set_remap_hook(RemapHook h) { remap_ = std::move(h); }
+  void set_lbn_probe(LbnProbe p) { probe_ = std::move(p); }
+
+  std::uint32_t target_id() const noexcept { return target_id_; }
+  const InitiatorStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Pending {
+    netbuf::MsgBuffer accumulated;
+    std::function<void(Pdu)> on_response;  ///< fires on ScsiResponse/NopIn/LoginResponse
+    std::optional<Pdu> early_response;     ///< response beat the waiter
+  };
+
+  void on_stream(netbuf::MsgBuffer chunk);
+  void on_pdu(Pdu pdu);
+  /// Assigns ITT/CmdSN, registers tracking, transmits. Returns the ITT.
+  std::uint32_t send_tracked(Pdu pdu);
+  Task<Pdu> wait_response(std::uint32_t itt);
+  Task<Pdu> send_and_wait(Pdu pdu);
+
+  proto::NetworkStack& stack_;
+  proto::Ipv4Addr local_ip_;
+  proto::Ipv4Addr target_ip_;
+  std::uint32_t target_id_;
+  std::uint16_t target_port_;
+
+  proto::TcpConnectionPtr conn_;
+  PduParser parser_;
+  std::unordered_map<std::uint32_t, Pending> pending_;
+  std::uint32_t next_itt_ = 1;
+  std::uint32_t cmd_sn_ = 1;
+
+  PayloadPolicy policy_ = PayloadPolicy::Copy;
+  IngestHook ingest_;
+  RemapHook remap_;
+  LbnProbe probe_;
+  InitiatorStats stats_;
+};
+
+/// Direct, in-process block client (no network): used by fs unit tests and
+/// by mkfs-time population.
+class LocalBlockClient final : public BlockClient {
+ public:
+  LocalBlockClient(blockdev::BlockStore& store, netbuf::CopyEngine& copier)
+      : store_(store), copier_(copier) {}
+
+  Task<netbuf::MsgBuffer> read_blocks(std::uint64_t lbn, std::uint32_t count,
+                                      bool metadata) override;
+  Task<bool> write_blocks(std::uint64_t lbn, netbuf::MsgBuffer data,
+                          bool metadata) override;
+
+ private:
+  blockdev::BlockStore& store_;
+  netbuf::CopyEngine& copier_;
+};
+
+}  // namespace ncache::iscsi

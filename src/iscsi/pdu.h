@@ -1,0 +1,107 @@
+// iSCSI PDU subset (RFC 3720-shaped): login, SCSI command with Read(10)/
+// Write(10) CDBs, Data-In/Data-Out, SCSI response, and NOP.
+//
+// The Basic Header Segment is a real 48-byte serialized structure; the
+// data segment follows, padded to a 4-byte boundary. Field placement
+// follows the RFC's common layout (opcode-specific words are documented
+// inline where we diverge for simplicity).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "netbuf/msg_buffer.h"
+
+namespace ncache::iscsi {
+
+enum class Opcode : std::uint8_t {
+  NopOut = 0x00,
+  ScsiCommand = 0x01,
+  LoginRequest = 0x03,
+  ScsiDataOut = 0x05,
+  NopIn = 0x20,
+  ScsiResponse = 0x21,
+  LoginResponse = 0x23,
+  ScsiDataIn = 0x25,
+};
+
+enum class ScsiStatus : std::uint8_t {
+  Good = 0x00,
+  CheckCondition = 0x02,
+};
+
+constexpr std::size_t kBhsBytes = 48;
+constexpr std::uint16_t kIscsiPort = 3260;
+/// MaxRecvDataSegmentLength we "negotiate": one Data-In/Out PDU carries at
+/// most this much payload.
+constexpr std::size_t kMaxDataSegment = 8192;
+
+/// SCSI block size exposed by the target: matches the fs block so one LBN
+/// is one file-system block (the paper keys the LBN cache this way).
+constexpr std::size_t kScsiBlockSize = 4096;
+
+struct Pdu {
+  Opcode opcode = Opcode::NopOut;
+  bool final_flag = true;
+  std::uint64_t lun = 0;
+  std::uint32_t itt = 0;      ///< initiator task tag
+  std::uint32_t expected_length = 0;  ///< ScsiCommand: total transfer bytes
+  std::uint32_t cmd_sn = 0;
+  std::uint32_t exp_sn = 0;
+  std::uint32_t data_sn = 0;         ///< Data-In/Out ordering
+  std::uint32_t buffer_offset = 0;   ///< Data-In/Out placement
+  ScsiStatus status = ScsiStatus::Good;
+  std::array<std::uint8_t, 16> cdb{};  ///< ScsiCommand only
+
+  netbuf::MsgBuffer data;  ///< data segment (may be logical pre-egress)
+
+  /// Serializes the 48-byte BHS (not the data segment).
+  std::vector<std::byte> serialize_bhs() const;
+  static Pdu parse_bhs(std::span<const std::byte> bhs);
+
+  std::size_t data_padding() const noexcept {
+    return (4 - (data.size() & 3)) & 3;
+  }
+  /// BHS + data + pad: bytes this PDU occupies on the TCP stream.
+  std::size_t stream_size() const noexcept {
+    return kBhsBytes + data.size() + data_padding();
+  }
+
+  /// Whole PDU as a stream message: BHS bytes followed by the data segment
+  /// (spliced, not copied) and padding.
+  netbuf::MsgBuffer to_stream() const;
+};
+
+// --- SCSI CDBs --------------------------------------------------------------
+
+struct ScsiRw {
+  bool is_write = false;
+  std::uint32_t lba = 0;     ///< in kScsiBlockSize units
+  std::uint16_t blocks = 0;
+};
+
+/// Builds a Read(10) (0x28) or Write(10) (0x2A) CDB.
+std::array<std::uint8_t, 16> make_rw_cdb(const ScsiRw& rw);
+/// Parses a Read/Write(10) CDB; nullopt for other opcodes.
+std::optional<ScsiRw> parse_rw_cdb(const std::array<std::uint8_t, 16>& cdb);
+
+/// Incremental PDU framer over a TCP byte stream. Feed in-order stream
+/// chunks; complete PDUs pop out. The receiver side always sees physical
+/// bytes (NCache substitution happens on the sender's NIC egress).
+class PduParser {
+ public:
+  /// Appends a stream chunk; calls `sink` for each completed PDU.
+  void feed(netbuf::MsgBuffer chunk,
+            const std::function<void(Pdu)>& sink);
+
+  std::size_t buffered() const noexcept { return pending_.size(); }
+
+ private:
+  netbuf::MsgBuffer pending_;
+  std::optional<Pdu> header_;   ///< parsed BHS awaiting its data segment
+  std::size_t need_ = kBhsBytes;
+};
+
+}  // namespace ncache::iscsi

@@ -1,0 +1,78 @@
+// Logical-copy keys (§3.1, §3.4).
+//
+// Regular data in the network-centric cache is identified by one of two
+// keys, matching its two possible origins:
+//   * LbnKey — data that arrived from the iSCSI target, indexed by the
+//     logical block number in the iSCSI read request;
+//   * FhoKey — data that arrived in an NFS WRITE request, indexed by
+//     file handle + file offset.
+// A logical copy moves one of these 16-byte keys instead of the payload.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace ncache::netbuf {
+
+struct LbnKey {
+  std::uint32_t target = 0;  ///< iSCSI target id (one per storage server)
+  std::uint64_t lbn = 0;     ///< logical block number (fs-block-sized units)
+
+  friend bool operator==(const LbnKey&, const LbnKey&) = default;
+};
+
+struct FhoKey {
+  std::uint64_t fh = 0;      ///< NFS file handle (inode id in SimpleFS)
+  std::uint64_t offset = 0;  ///< byte offset, fs-block aligned
+
+  friend bool operator==(const FhoKey&, const FhoKey&) = default;
+};
+
+using CacheKey = std::variant<LbnKey, FhoKey>;
+
+inline bool is_lbn(const CacheKey& k) noexcept {
+  return std::holds_alternative<LbnKey>(k);
+}
+inline bool is_fho(const CacheKey& k) noexcept {
+  return std::holds_alternative<FhoKey>(k);
+}
+
+inline std::string to_string(const CacheKey& k) {
+  if (auto* l = std::get_if<LbnKey>(&k)) {
+    return "LBN(t" + std::to_string(l->target) + "," + std::to_string(l->lbn) +
+           ")";
+  }
+  const auto& f = std::get<FhoKey>(k);
+  return "FHO(fh" + std::to_string(f.fh) + "," + std::to_string(f.offset) + ")";
+}
+
+struct LbnKeyHash {
+  std::size_t operator()(const LbnKey& k) const noexcept {
+    std::uint64_t h = k.lbn * 0x9e3779b97f4a7c15ULL;
+    h ^= (std::uint64_t(k.target) << 32) | k.target;
+    return std::size_t(h ^ (h >> 29));
+  }
+};
+
+struct FhoKeyHash {
+  std::size_t operator()(const FhoKey& k) const noexcept {
+    std::uint64_t h = k.fh * 0xff51afd7ed558ccdULL;
+    h ^= k.offset * 0x9e3779b97f4a7c15ULL;
+    return std::size_t(h ^ (h >> 33));
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const noexcept {
+    if (auto* l = std::get_if<LbnKey>(&k)) return LbnKeyHash{}(*l) * 2;
+    return FhoKeyHash{}(std::get<FhoKey>(k)) * 2 + 1;
+  }
+};
+
+/// On-the-wire / in-descriptor size of one key (paper: an LBN "is much
+/// smaller than a file block"). Used for the logical-copy cost model.
+constexpr std::size_t kKeyBytes = 16;
+
+}  // namespace ncache::netbuf

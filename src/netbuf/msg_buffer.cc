@@ -1,0 +1,160 @@
+#include "netbuf/msg_buffer.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/bytes.h"
+
+namespace ncache::netbuf {
+
+MsgBuffer MsgBuffer::from_bytes(std::span<const std::byte> src) {
+  MsgBuffer m;
+  if (!src.empty()) {
+    auto buf = make_buffer(src.size());
+    buf->append(src);
+    m.append(ByteSeg{std::move(buf), 0, std::uint32_t(src.size())});
+  }
+  return m;
+}
+
+MsgBuffer MsgBuffer::from_string(std::string_view s) {
+  return from_bytes(as_bytes(s));
+}
+
+MsgBuffer MsgBuffer::wrap(NetBufferPtr buf) {
+  auto len = std::uint32_t(buf->size());
+  return wrap(std::move(buf), 0, len);
+}
+
+MsgBuffer MsgBuffer::wrap(NetBufferPtr buf, std::uint32_t off,
+                          std::uint32_t len) {
+  MsgBuffer m;
+  if (len > 0) m.append(ByteSeg{std::move(buf), off, len});
+  return m;
+}
+
+MsgBuffer MsgBuffer::from_key(CacheKey key, std::uint32_t off,
+                              std::uint32_t len) {
+  MsgBuffer m;
+  m.append(KeySeg{key, off, len});
+  return m;
+}
+
+MsgBuffer MsgBuffer::junk(std::uint32_t len) {
+  MsgBuffer m;
+  if (len > 0) m.append(JunkSeg{len});
+  return m;
+}
+
+void MsgBuffer::append(Segment seg) {
+  std::uint32_t len = seg_len(seg);
+  if (len == 0) return;
+  size_ += len;
+  segs_.push_back(std::move(seg));
+}
+
+void MsgBuffer::append(MsgBuffer other) {
+  for (auto& s : other.segs_) append(std::move(s));
+}
+
+bool MsgBuffer::fully_physical() const noexcept {
+  for (const auto& s : segs_) {
+    if (!std::holds_alternative<ByteSeg>(s)) return false;
+  }
+  return true;
+}
+
+bool MsgBuffer::has_keys() const noexcept {
+  for (const auto& s : segs_) {
+    if (std::holds_alternative<KeySeg>(s)) return true;
+  }
+  return false;
+}
+
+bool MsgBuffer::has_junk() const noexcept {
+  for (const auto& s : segs_) {
+    if (std::holds_alternative<JunkSeg>(s)) return true;
+  }
+  return false;
+}
+
+std::size_t MsgBuffer::key_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : segs_) {
+    if (std::holds_alternative<KeySeg>(s)) ++n;
+  }
+  return n;
+}
+
+std::size_t MsgBuffer::logical_bytes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : segs_) {
+    if (!std::holds_alternative<ByteSeg>(s)) n += seg_len(s);
+  }
+  return n;
+}
+
+MsgBuffer MsgBuffer::slice(std::size_t off, std::size_t len) const {
+  if (off + len > size_) throw std::out_of_range("MsgBuffer::slice");
+  MsgBuffer out;
+  std::size_t pos = 0;
+  for (const auto& s : segs_) {
+    if (len == 0) break;
+    std::uint32_t slen = seg_len(s);
+    std::size_t seg_end = pos + slen;
+    if (seg_end <= off) {
+      pos = seg_end;
+      continue;
+    }
+    std::size_t start_in_seg = off > pos ? off - pos : 0;
+    std::size_t take = std::min<std::size_t>(slen - start_in_seg, len);
+    if (const auto* b = std::get_if<ByteSeg>(&s)) {
+      out.append(ByteSeg{b->buf, std::uint32_t(b->off + start_in_seg),
+                         std::uint32_t(take)});
+    } else if (const auto* k = std::get_if<KeySeg>(&s)) {
+      out.append(KeySeg{k->key, std::uint32_t(k->off + start_in_seg),
+                        std::uint32_t(take)});
+    } else {
+      out.append(JunkSeg{std::uint32_t(take)});
+    }
+    off += take;
+    len -= take;
+    pos = seg_end;
+  }
+  return out;
+}
+
+void MsgBuffer::copy_out(std::span<std::byte> dst) const {
+  if (dst.size() != size_) throw std::length_error("MsgBuffer::copy_out size");
+  std::size_t pos = 0;
+  for (const auto& s : segs_) {
+    if (const auto* b = std::get_if<ByteSeg>(&s)) {
+      auto v = b->view();
+      std::memcpy(dst.data() + pos, v.data(), v.size());
+      pos += v.size();
+    } else {
+      // Non-physical segment: deterministic filler so consumers that
+      // (incorrectly) read junk see a recognizable pattern.
+      std::uint32_t len = seg_len(s);
+      std::memset(dst.data() + pos, 0x5A, len);
+      pos += len;
+    }
+  }
+}
+
+std::vector<std::byte> MsgBuffer::to_bytes() const {
+  std::vector<std::byte> out(size_);
+  copy_out(out);
+  return out;
+}
+
+std::vector<std::byte> MsgBuffer::peek_bytes(std::size_t n) const {
+  if (n > size_) throw std::out_of_range("MsgBuffer::peek_bytes");
+  MsgBuffer prefix = slice(0, n);
+  if (!prefix.fully_physical()) {
+    throw std::logic_error("MsgBuffer::peek_bytes: prefix is not physical");
+  }
+  return prefix.to_bytes();
+}
+
+}  // namespace ncache::netbuf

@@ -1,0 +1,119 @@
+// MsgBuffer: the data currency of the whole simulated system.
+//
+// A message is an ordered list of segments. Each segment is one of:
+//   * ByteSeg — real bytes in a (shared, refcounted) NetBuffer: the normal
+//     physically-present representation;
+//   * KeySeg — a logical-copy reference into the network-centric cache:
+//     present only in NCache-mode data paths, materialized at the egress
+//     interceptor;
+//   * JunkSeg — a placeholder of known length with no real bytes: the
+//     paper's `*-baseline` servers ship these ("packets ... contain only
+//     random bits as payload", §5.1).
+//
+// Slicing a MsgBuffer (for IP fragmentation / TCP segmentation) is cheap
+// and allocation-light: ByteSegs share the underlying NetBuffer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "netbuf/cache_key.h"
+#include "netbuf/net_buffer.h"
+
+namespace ncache::netbuf {
+
+struct ByteSeg {
+  NetBufferPtr buf;
+  std::uint32_t off = 0;  ///< offset into buf->data()
+  std::uint32_t len = 0;
+
+  std::span<const std::byte> view() const noexcept {
+    return buf->data().subspan(off, len);
+  }
+};
+
+struct KeySeg {
+  CacheKey key;
+  std::uint32_t off = 0;  ///< offset into the cached object
+  std::uint32_t len = 0;
+};
+
+struct JunkSeg {
+  std::uint32_t len = 0;
+};
+
+using Segment = std::variant<ByteSeg, KeySeg, JunkSeg>;
+
+inline std::uint32_t seg_len(const Segment& s) noexcept {
+  return std::visit([](const auto& v) { return v.len; }, s);
+}
+
+class MsgBuffer {
+ public:
+  MsgBuffer() = default;
+
+  /// Builds a message with one ByteSeg copied from `src` (this *is* a
+  /// physical copy; callers wanting accounting should go through
+  /// CopyEngine).
+  static MsgBuffer from_bytes(std::span<const std::byte> src);
+  static MsgBuffer from_string(std::string_view s);
+
+  /// Wraps an existing buffer without copying.
+  static MsgBuffer wrap(NetBufferPtr buf);
+  static MsgBuffer wrap(NetBufferPtr buf, std::uint32_t off, std::uint32_t len);
+
+  /// A single logical-copy reference.
+  static MsgBuffer from_key(CacheKey key, std::uint32_t off, std::uint32_t len);
+
+  /// A junk placeholder.
+  static MsgBuffer junk(std::uint32_t len);
+
+  void append(Segment seg);
+  void append(MsgBuffer other);  ///< splices other's segments (no copy)
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  const std::vector<Segment>& segments() const noexcept { return segs_; }
+
+  /// True if every byte is physically present.
+  bool fully_physical() const noexcept;
+  /// True if any segment is a KeySeg.
+  bool has_keys() const noexcept;
+  /// True if any segment is junk.
+  bool has_junk() const noexcept;
+  /// Number of KeySegs.
+  std::size_t key_count() const noexcept;
+  /// Bytes covered by KeySegs / JunkSegs.
+  std::size_t logical_bytes() const noexcept;
+
+  /// Cheap sub-range view [off, off+len): ByteSegs share buffers, Key/Junk
+  /// segs are re-ranged. Throws std::out_of_range if out of bounds.
+  MsgBuffer slice(std::size_t off, std::size_t len) const;
+
+  /// Gathers physical bytes into `dst` (dst.size() == size()). Junk/Key
+  /// segments are filled with a deterministic pattern (they have no real
+  /// bytes); callers that require real data must materialize first.
+  void copy_out(std::span<std::byte> dst) const;
+
+  /// Convenience: flattens into a fresh vector (tests, header parsing).
+  std::vector<std::byte> to_bytes() const;
+
+  /// First `n` physical bytes flattened (for protocol header peeking);
+  /// throws if the prefix is not fully physical.
+  std::vector<std::byte> peek_bytes(std::size_t n) const;
+
+  void clear() noexcept {
+    segs_.clear();
+    size_ = 0;
+  }
+
+ private:
+  std::vector<Segment> segs_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ncache::netbuf

@@ -1,0 +1,102 @@
+#include "netbuf/net_buffer.h"
+
+#include <cstring>
+
+namespace ncache::netbuf {
+
+NetBuffer::NetBuffer(std::size_t headroom, std::size_t capacity)
+    : storage_(headroom + capacity), head_(headroom), tail_(headroom) {}
+
+NetBuffer::NetBuffer(NetBuffer&& o) noexcept
+    : storage_(std::move(o.storage_)),
+      head_(o.head_),
+      tail_(o.tail_),
+      pool_(o.pool_) {
+  o.pool_ = nullptr;
+  o.head_ = o.tail_ = 0;
+}
+
+NetBuffer& NetBuffer::operator=(NetBuffer&& o) noexcept {
+  if (this != &o) {
+    if (pool_) pool_->release(*this);
+    storage_ = std::move(o.storage_);
+    head_ = o.head_;
+    tail_ = o.tail_;
+    pool_ = o.pool_;
+    o.pool_ = nullptr;
+    o.head_ = o.tail_ = 0;
+  }
+  return *this;
+}
+
+NetBuffer::~NetBuffer() {
+  if (pool_) pool_->release(*this);
+}
+
+std::byte* NetBuffer::push(std::size_t n) {
+  if (n > head_) throw std::length_error("NetBuffer::push: headroom exhausted");
+  head_ -= n;
+  return storage_.data() + head_;
+}
+
+std::byte* NetBuffer::pull(std::size_t n) {
+  if (n > size()) throw std::length_error("NetBuffer::pull: underrun");
+  std::byte* old = storage_.data() + head_;
+  head_ += n;
+  return old;
+}
+
+std::byte* NetBuffer::put(std::size_t n) {
+  if (n > tailroom()) throw std::length_error("NetBuffer::put: tailroom exhausted");
+  std::byte* at = storage_.data() + tail_;
+  tail_ += n;
+  return at;
+}
+
+void NetBuffer::trim(std::size_t len) {
+  if (len > size()) throw std::length_error("NetBuffer::trim: grows buffer");
+  tail_ = head_ + len;
+}
+
+void NetBuffer::append(std::span<const std::byte> src) {
+  std::byte* dst = put(src.size());
+  if (!src.empty()) std::memcpy(dst, src.data(), src.size());
+}
+
+NetBufferPtr make_buffer(std::size_t capacity, std::size_t headroom) {
+  return std::make_shared<NetBuffer>(headroom, capacity);
+}
+
+NetBufferPtr BufferPool::allocate(std::size_t capacity, std::size_t headroom) {
+  std::size_t charge = headroom + capacity + kPerBufferOverhead;
+  if (in_use_ + charge > budget_) {
+    ++failures_;
+    return nullptr;
+  }
+  auto buf = std::make_shared<NetBuffer>(headroom, capacity);
+  buf->pool_ = this;
+  in_use_ += charge;
+  ++allocations_;
+  return buf;
+}
+
+bool BufferPool::adopt(NetBuffer& buf) {
+  if (buf.pool_ == this) return true;
+  std::size_t charge = buf.capacity() + kPerBufferOverhead;
+  if (in_use_ + charge > budget_) {
+    ++failures_;
+    return false;
+  }
+  if (buf.pool_) buf.pool_->release(buf);
+  buf.pool_ = this;
+  in_use_ += charge;
+  ++allocations_;
+  return true;
+}
+
+void BufferPool::release(const NetBuffer& buf) noexcept {
+  std::size_t charge = buf.capacity() + kPerBufferOverhead;
+  in_use_ = in_use_ > charge ? in_use_ - charge : 0;
+}
+
+}  // namespace ncache::netbuf

@@ -1,0 +1,90 @@
+// NFS client: used by the workload generators and the example programs.
+//
+// Classic UDP RPC client: XID matching, fixed retransmission timer, and
+// copy-semantics payload handling (clients are ordinary machines; only the
+// pass-through server gets NCache). READ results expose whether the
+// payload was baseline junk so integrity checks know when to apply.
+#pragma once
+
+#include <unordered_map>
+
+#include "netbuf/copy_engine.h"
+#include "nfs/protocol.h"
+#include "proto/stack.h"
+
+namespace ncache::nfs {
+
+struct NfsClientStats {
+  std::uint64_t calls = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+};
+
+class NfsClient {
+ public:
+  NfsClient(proto::NetworkStack& stack, proto::Ipv4Addr local_ip,
+            proto::Ipv4Addr server_ip, std::uint16_t local_port,
+            std::uint16_t server_port = kNfsPort);
+  ~NfsClient();
+
+  struct ReadResult {
+    Status status = Status::Io;
+    Fattr attr;
+    netbuf::MsgBuffer data;
+    bool junk = false;  ///< baseline-server payload: do not verify contents
+  };
+
+  Task<std::optional<Fattr>> getattr(std::uint64_t fh);
+  Task<std::optional<std::uint64_t>> lookup(std::uint64_t dir_fh,
+                                            std::string_view name);
+  Task<ReadResult> read(std::uint64_t fh, std::uint64_t offset,
+                        std::uint32_t count);
+  Task<Status> write(std::uint64_t fh, std::uint64_t offset,
+                     std::span<const std::byte> data);
+  Task<std::optional<std::uint64_t>> create(std::uint64_t dir_fh,
+                                            std::string_view name,
+                                            bool directory = false);
+  Task<Status> remove(std::uint64_t dir_fh, std::string_view name);
+  Task<Status> rename(std::uint64_t src_dir, std::string_view src_name,
+                      std::uint64_t dst_dir, std::string_view dst_name);
+  /// Truncates (or extends with a hole) to `size`.
+  Task<Status> setattr_size(std::uint64_t fh, std::uint64_t size);
+  Task<std::vector<DirEntry>> readdir(std::uint64_t fh);
+
+  const NfsClientStats& stats() const noexcept { return stats_; }
+  proto::Ipv4Addr server_ip() const noexcept { return server_ip_; }
+  sim::EventLoop& loop() noexcept { return stack_.loop(); }
+
+  /// Retransmission policy.
+  static constexpr sim::Duration kRetransTimeout = 800 * sim::kMillisecond;
+  static constexpr int kMaxAttempts = 4;
+
+ private:
+  /// One RPC exchange: sends header+args (+payload), awaits the matching
+  /// reply, retransmitting on timeout. Returns the reply datagram or
+  /// nullopt after the last timeout.
+  Task<std::optional<netbuf::MsgBuffer>> call(Proc proc,
+                                              std::span<const std::byte> args,
+                                              netbuf::MsgBuffer payload = {});
+
+  void on_datagram(netbuf::MsgBuffer msg);
+
+  proto::NetworkStack& stack_;
+  proto::Ipv4Addr local_ip_;
+  proto::Ipv4Addr server_ip_;
+  std::uint16_t local_port_;
+  std::uint16_t server_port_;
+
+  struct PendingCall {
+    std::function<void(std::optional<netbuf::MsgBuffer>)> resolve;
+    std::uint64_t epoch = 0;  ///< invalidates stale timers
+  };
+  std::unordered_map<std::uint32_t, PendingCall> pending_;
+  std::uint32_t next_xid_;
+  NfsClientStats stats_;
+};
+
+}  // namespace ncache::nfs

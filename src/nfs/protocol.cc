@@ -1,0 +1,156 @@
+#include "nfs/protocol.h"
+
+namespace ncache::nfs {
+
+void CallHeader::serialize(ByteWriter& w) const {
+  w.u32(xid);
+  w.u32(0);  // CALL
+  w.u32(prog);
+  w.u32(vers);
+  w.u32(static_cast<std::uint32_t>(proc));
+}
+
+std::optional<CallHeader> CallHeader::parse(ByteReader& r) {
+  if (r.remaining() < kCallHeaderBytes) return std::nullopt;
+  CallHeader h;
+  h.xid = r.u32();
+  if (r.u32() != 0) return std::nullopt;
+  h.prog = r.u32();
+  h.vers = r.u32();
+  h.proc = static_cast<Proc>(r.u32());
+  if (h.prog != kNfsProgram) return std::nullopt;
+  return h;
+}
+
+void ReplyHeader::serialize(ByteWriter& w) const {
+  w.u32(xid);
+  w.u32(1);  // REPLY
+  w.u32(static_cast<std::uint32_t>(status));
+}
+
+std::optional<ReplyHeader> ReplyHeader::parse(ByteReader& r) {
+  if (r.remaining() < kReplyHeaderBytes) return std::nullopt;
+  ReplyHeader h;
+  h.xid = r.u32();
+  if (r.u32() != 1) return std::nullopt;
+  h.status = static_cast<Status>(r.u32());
+  return h;
+}
+
+void Fattr::serialize(ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(type));
+  w.u64(size);
+  w.u32(nlink);
+}
+
+Fattr Fattr::parse(ByteReader& r) {
+  Fattr a;
+  a.type = static_cast<fs::InodeType>(r.u32());
+  a.size = r.u64();
+  a.nlink = r.u32();
+  return a;
+}
+
+void GetattrArgs::serialize(ByteWriter& w) const { w.u64(fh); }
+GetattrArgs GetattrArgs::parse(ByteReader& r) { return {r.u64()}; }
+
+void LookupArgs::serialize(ByteWriter& w) const {
+  w.u64(dir_fh);
+  w.xdr_opaque(name);
+}
+LookupArgs LookupArgs::parse(ByteReader& r) {
+  LookupArgs a;
+  a.dir_fh = r.u64();
+  a.name = r.xdr_opaque();
+  return a;
+}
+
+void ReadArgs::serialize(ByteWriter& w) const {
+  w.u64(fh);
+  w.u64(offset);
+  w.u32(count);
+}
+ReadArgs ReadArgs::parse(ByteReader& r) {
+  ReadArgs a;
+  a.fh = r.u64();
+  a.offset = r.u64();
+  a.count = r.u32();
+  return a;
+}
+
+void WriteArgs::serialize(ByteWriter& w) const {
+  w.u64(fh);
+  w.u64(offset);
+  w.u32(count);
+}
+WriteArgs WriteArgs::parse(ByteReader& r) {
+  WriteArgs a;
+  a.fh = r.u64();
+  a.offset = r.u64();
+  a.count = r.u32();
+  return a;
+}
+
+void RenameArgs::serialize(ByteWriter& w) const {
+  w.u64(src_dir);
+  w.xdr_opaque(src_name);
+  w.u64(dst_dir);
+  w.xdr_opaque(dst_name);
+}
+RenameArgs RenameArgs::parse(ByteReader& r) {
+  RenameArgs a;
+  a.src_dir = r.u64();
+  a.src_name = r.xdr_opaque();
+  a.dst_dir = r.u64();
+  a.dst_name = r.xdr_opaque();
+  return a;
+}
+
+void SetattrArgs::serialize(ByteWriter& w) const {
+  w.u64(fh);
+  w.u64(size);
+}
+SetattrArgs SetattrArgs::parse(ByteReader& r) {
+  SetattrArgs a;
+  a.fh = r.u64();
+  a.size = r.u64();
+  return a;
+}
+
+void CreateArgs::serialize(ByteWriter& w) const {
+  w.u64(dir_fh);
+  w.xdr_opaque(name);
+  w.u32(static_cast<std::uint32_t>(type));
+}
+CreateArgs CreateArgs::parse(ByteReader& r) {
+  CreateArgs a;
+  a.dir_fh = r.u64();
+  a.name = r.xdr_opaque();
+  a.type = static_cast<fs::InodeType>(r.u32());
+  return a;
+}
+
+void serialize_dir_entries(ByteWriter& w, const std::vector<DirEntry>& es) {
+  w.u32(static_cast<std::uint32_t>(es.size()));
+  for (const auto& e : es) {
+    w.u64(e.fh);
+    w.u32(static_cast<std::uint32_t>(e.type));
+    w.xdr_opaque(e.name);
+  }
+}
+
+std::vector<DirEntry> parse_dir_entries(ByteReader& r) {
+  std::uint32_t n = r.u32();
+  std::vector<DirEntry> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    DirEntry e;
+    e.fh = r.u64();
+    e.type = static_cast<fs::InodeType>(r.u32());
+    e.name = r.xdr_opaque();
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace ncache::nfs

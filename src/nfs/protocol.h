@@ -1,0 +1,151 @@
+// NFS-over-RPC wire protocol (v2-flavoured subset).
+//
+// RPC runs over UDP exactly as in the paper's testbed ("NFS runs on UDP in
+// our experiments", §5.5). Message layouts are XDR-ish: big-endian fixed
+// fields plus length-prefixed padded strings. The file handle is the
+// SimpleFS inode number widened to 64 bits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "fs/layout.h"
+#include "netbuf/msg_buffer.h"
+
+namespace ncache::nfs {
+
+constexpr std::uint16_t kNfsPort = 2049;
+constexpr std::uint32_t kNfsProgram = 100003;
+constexpr std::uint32_t kNfsVersion = 2;
+/// Largest READ/WRITE payload, as in the paper's 32 KB experiments.
+constexpr std::uint32_t kMaxIoSize = 32 * 1024;
+
+enum class Proc : std::uint32_t {
+  Null = 0,
+  Getattr = 1,
+  Setattr = 2,
+  Lookup = 4,
+  Read = 6,
+  Write = 8,
+  Create = 9,
+  Remove = 10,
+  Rename = 11,
+  Mkdir = 14,
+  Readdir = 16,
+};
+
+enum class Status : std::uint32_t {
+  Ok = 0,
+  NoEnt = 2,
+  Io = 5,
+  Exist = 17,
+  NotDir = 20,
+  NoSpace = 28,
+  Stale = 70,
+};
+
+constexpr std::size_t kCallHeaderBytes = 20;   // xid, mtype, prog, vers, proc
+constexpr std::size_t kReplyHeaderBytes = 12;  // xid, mtype, status
+
+struct CallHeader {
+  std::uint32_t xid = 0;
+  std::uint32_t prog = kNfsProgram;
+  std::uint32_t vers = kNfsVersion;
+  Proc proc = Proc::Null;
+
+  void serialize(ByteWriter& w) const;
+  static std::optional<CallHeader> parse(ByteReader& r);
+};
+
+struct ReplyHeader {
+  std::uint32_t xid = 0;
+  Status status = Status::Ok;
+
+  void serialize(ByteWriter& w) const;
+  static std::optional<ReplyHeader> parse(ByteReader& r);
+};
+
+struct Fattr {
+  fs::InodeType type = fs::InodeType::Free;
+  std::uint64_t size = 0;
+  std::uint32_t nlink = 0;
+
+  void serialize(ByteWriter& w) const;
+  static Fattr parse(ByteReader& r);
+  friend bool operator==(const Fattr&, const Fattr&) = default;
+};
+
+// --- call bodies -------------------------------------------------------------
+
+struct GetattrArgs {
+  std::uint64_t fh;
+  void serialize(ByteWriter& w) const;
+  static GetattrArgs parse(ByteReader& r);
+};
+
+struct LookupArgs {
+  std::uint64_t dir_fh;
+  std::string name;
+  void serialize(ByteWriter& w) const;
+  static LookupArgs parse(ByteReader& r);
+};
+
+struct ReadArgs {
+  std::uint64_t fh;
+  std::uint64_t offset;
+  std::uint32_t count;
+  void serialize(ByteWriter& w) const;
+  static ReadArgs parse(ByteReader& r);
+};
+
+/// WRITE arguments; the payload follows as the remainder of the datagram
+/// (so it can travel as a buffer chain, not a copied array).
+struct WriteArgs {
+  std::uint64_t fh;
+  std::uint64_t offset;
+  std::uint32_t count;
+  void serialize(ByteWriter& w) const;
+  static WriteArgs parse(ByteReader& r);
+};
+constexpr std::size_t kWriteArgsBytes = 20;
+
+struct RenameArgs {
+  std::uint64_t src_dir;
+  std::string src_name;
+  std::uint64_t dst_dir;
+  std::string dst_name;
+  void serialize(ByteWriter& w) const;
+  static RenameArgs parse(ByteReader& r);
+};
+
+/// SETATTR carries only the size (truncate/extend), the one attribute the
+/// simulated servers honour.
+struct SetattrArgs {
+  std::uint64_t fh;
+  std::uint64_t size;
+  void serialize(ByteWriter& w) const;
+  static SetattrArgs parse(ByteReader& r);
+};
+
+struct CreateArgs {
+  std::uint64_t dir_fh;
+  std::string name;
+  fs::InodeType type = fs::InodeType::File;
+  void serialize(ByteWriter& w) const;
+  static CreateArgs parse(ByteReader& r);
+};
+
+struct DirEntry {
+  std::uint64_t fh;
+  fs::InodeType type;
+  std::string name;
+};
+
+/// Serializes a READDIR reply body (count + entries).
+void serialize_dir_entries(ByteWriter& w, const std::vector<DirEntry>& es);
+std::vector<DirEntry> parse_dir_entries(ByteReader& r);
+
+}  // namespace ncache::nfs

@@ -1,0 +1,348 @@
+#include "nfs/server.h"
+
+#include "common/logging.h"
+
+namespace ncache::nfs {
+
+using netbuf::CopyClass;
+using netbuf::FhoKey;
+using netbuf::MsgBuffer;
+
+NfsServer::NfsServer(proto::NetworkStack& stack, fs::SimpleFs& fs,
+                     Config config, core::NCacheModule* ncache)
+    : stack_(stack), fs_(fs), config_(config), ncache_(ncache) {
+  if (config_.mode == ServerMode::NCache && !ncache_) {
+    throw std::invalid_argument("NfsServer: NCache mode requires the module");
+  }
+}
+
+void NfsServer::start() {
+  if (running_) return;
+  running_ = true;
+  stack_.udp_bind(config_.port,
+                  [this](proto::Ipv4Addr sip, std::uint16_t sport,
+                         proto::Ipv4Addr dip, std::uint16_t dport,
+                         MsgBuffer m) {
+                    on_datagram(sip, sport, dip, dport, std::move(m));
+                  });
+  for (int i = 0; i < config_.daemons; ++i) {
+    ++live_daemons_;
+    daemon_loop(i).detach();
+  }
+}
+
+void NfsServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  stack_.udp_unbind(config_.port);
+  // Wake idle daemons so they can exit.
+  while (!waiting_.empty()) {
+    auto w = std::move(waiting_.front());
+    waiting_.pop_front();
+    w(std::nullopt);
+  }
+}
+
+void NfsServer::on_datagram(proto::Ipv4Addr sip, std::uint16_t sport,
+                            proto::Ipv4Addr dip, std::uint16_t /*dport*/,
+                            MsgBuffer msg) {
+  Request req{sip, sport, dip, std::move(msg)};
+  if (!waiting_.empty()) {
+    auto w = std::move(waiting_.front());
+    waiting_.pop_front();
+    w(std::move(req));
+    return;
+  }
+  queue_.push_back(std::move(req));
+  stats_.queue_hwm = std::max(stats_.queue_hwm, queue_.size());
+}
+
+Task<std::optional<NfsServer::Request>> NfsServer::next_request() {
+  if (!queue_.empty()) {
+    Request req = std::move(queue_.front());
+    queue_.pop_front();
+    // Yield through the loop to keep daemon scheduling fair and to honour
+    // the AwaitCallback asynchronous-completion contract.
+    co_await sim::sleep_for(stack_.loop(), 0);
+    co_return req;
+  }
+  if (!running_) co_return std::nullopt;
+  AwaitCallback<std::optional<Request>> awaiter([this](auto resolve) {
+    auto r = std::make_shared<decltype(resolve)>(std::move(resolve));
+    waiting_.push_back([r](std::optional<Request> req) {
+      (*r)(std::move(req));
+    });
+  });
+  co_return co_await awaiter;
+}
+
+Task<void> NfsServer::daemon_loop(int /*index*/) {
+  while (running_) {
+    std::optional<Request> req = co_await next_request();
+    if (!req) break;
+    try {
+      co_await handle(std::move(*req));
+    } catch (const std::exception& e) {
+      ++stats_.errors;
+      NC_WARN("nfsd", "request failed: %s", e.what());
+    }
+  }
+  --live_daemons_;
+}
+
+Task<Fattr> NfsServer::fattr_of(std::uint64_t fh) {
+  fs::FileAttr a = co_await fs_.getattr(std::uint32_t(fh));
+  co_return Fattr{a.type, a.size, a.nlink};
+}
+
+void NfsServer::send_reply(const Request& req, std::uint32_t xid,
+                           Status status, std::span<const std::byte> body,
+                           MsgBuffer payload) {
+  std::vector<std::byte> head;
+  ByteWriter w(head);
+  ReplyHeader{xid, status}.serialize(w);
+  w.bytes(body);
+  // Reply headers are metadata: built in the daemon and copied into the
+  // stack as usual.
+  MsgBuffer out = stack_.copier().copy_bytes_in(head, CopyClass::Metadata);
+  out.append(std::move(payload));
+  stack_.udp_send(req.server_ip, config_.port, req.client_ip, req.client_port,
+                  std::move(out));
+}
+
+Task<void> NfsServer::handle(Request req) {
+  ++stats_.requests;
+  // Per-request daemon work: decode, handle lookup, scheduling.
+  co_await stack_.cpu().run(stack_.costs().request_ns);
+
+  auto head_len = std::min<std::size_t>(req.msg.size(), kCallHeaderBytes);
+  if (head_len < kCallHeaderBytes) {
+    ++stats_.errors;
+    co_return;
+  }
+  auto head = req.msg.peek_bytes(kCallHeaderBytes);
+  ByteReader hr(head);
+  auto call = CallHeader::parse(hr);
+  if (!call) {
+    ++stats_.errors;
+    co_return;
+  }
+
+  switch (call->proc) {
+    case Proc::Read: {
+      auto body_bytes = req.msg.peek_bytes(
+          std::min<std::size_t>(req.msg.size(), kCallHeaderBytes + 20));
+      ByteReader br(std::span<const std::byte>(body_bytes).subspan(kCallHeaderBytes));
+      co_await do_read(req, *call, br);
+      co_return;
+    }
+    case Proc::Write: {
+      auto body_bytes = req.msg.peek_bytes(std::min<std::size_t>(
+          req.msg.size(), kCallHeaderBytes + kWriteArgsBytes));
+      ByteReader br(std::span<const std::byte>(body_bytes).subspan(kCallHeaderBytes));
+      co_await do_write(req, *call, br, req.msg);
+      co_return;
+    }
+    default: {
+      // Metadata procs: the whole message is small and physical.
+      auto all = req.msg.peek_bytes(req.msg.size());
+      ByteReader br(std::span<const std::byte>(all).subspan(kCallHeaderBytes));
+      co_await do_metadata(req, *call, br);
+      co_return;
+    }
+  }
+}
+
+Task<void> NfsServer::do_read(const Request& req, const CallHeader& call,
+                              ByteReader& body) {
+  ReadArgs args = ReadArgs::parse(body);
+  args.count = std::min(args.count, kMaxIoSize);
+  ++stats_.reads;
+
+  MsgBuffer data = co_await fs_.read(std::uint32_t(args.fh), args.offset,
+                                     args.count);
+  Fattr attr = co_await fattr_of(args.fh);
+
+  MsgBuffer payload;
+  auto& copier = stack_.copier();
+  switch (config_.mode) {
+    case ServerMode::Original: {
+      // Copy 1: buffer cache -> daemon's reply buffer (the read()
+      // interface). Copy 2: reply buffer -> network stack (sendmsg).
+      MsgBuffer staged = copier.copy_message(data, CopyClass::RegularData);
+      payload = copier.copy_message(staged, CopyClass::RegularData);
+      break;
+    }
+    case ServerMode::NCache:
+      // Both boundaries move only keys (§4.1's modified interfaces).
+      payload = copier.logical_copy(copier.logical_copy(data));
+      break;
+    case ServerMode::Baseline:
+      payload = MsgBuffer::junk(std::uint32_t(data.size()));
+      break;
+  }
+  stats_.read_bytes += payload.size();
+
+  std::vector<std::byte> reply_body;
+  ByteWriter w(reply_body);
+  attr.serialize(w);
+  w.u32(std::uint32_t(payload.size()));
+  send_reply(req, call.xid, Status::Ok, reply_body, std::move(payload));
+}
+
+Task<void> NfsServer::do_write(const Request& req, const CallHeader& call,
+                               ByteReader& body, const MsgBuffer& msg) {
+  WriteArgs args = WriteArgs::parse(body);
+  ++stats_.writes;
+
+  std::size_t header_total = kCallHeaderBytes + kWriteArgsBytes;
+  if (msg.size() < header_total + args.count) {
+    ++stats_.errors;
+    std::vector<std::byte> none;
+    send_reply(req, call.xid, Status::Io, none);
+    co_return;
+  }
+  MsgBuffer wire_payload = msg.slice(header_total, args.count);
+
+  MsgBuffer content;
+  auto& copier = stack_.copier();
+  switch (config_.mode) {
+    case ServerMode::Original:
+      // The single write-path copy: socket buffers -> buffer cache page
+      // (Table 2, "overwritten" = 1).
+      content = copier.copy_message(wire_payload, CopyClass::RegularData);
+      break;
+    case ServerMode::NCache: {
+      bool aligned = args.offset % fs::kBlockSize == 0 &&
+                     args.count % fs::kBlockSize == 0;
+      if (aligned) {
+        // Ingest block-by-block into the FHO cache; keys travel into the
+        // file system (§3.2 write path).
+        for (std::uint32_t off = 0; off < args.count; off += fs::kBlockSize) {
+          content.append(ncache_->ingest_fho(
+              FhoKey{args.fh, args.offset + off},
+              wire_payload.slice(off, fs::kBlockSize)));
+        }
+      } else {
+        ++stats_.unaligned_writes;
+        content = copier.copy_message(wire_payload, CopyClass::RegularData);
+      }
+      break;
+    }
+    case ServerMode::Baseline:
+      content = MsgBuffer::junk(args.count);
+      break;
+  }
+
+  std::uint32_t wrote =
+      co_await fs_.write(std::uint32_t(args.fh), args.offset,
+                         std::move(content));
+  stats_.write_bytes += wrote;
+  Fattr attr = co_await fattr_of(args.fh);
+
+  std::vector<std::byte> reply_body;
+  ByteWriter w(reply_body);
+  attr.serialize(w);
+  send_reply(req, call.xid,
+             wrote == args.count ? Status::Ok : Status::NoSpace, reply_body);
+}
+
+Task<void> NfsServer::do_metadata(const Request& req, const CallHeader& call,
+                                  ByteReader& body) {
+  ++stats_.metadata_ops;
+  std::vector<std::byte> reply_body;
+  ByteWriter w(reply_body);
+  Status status = Status::Ok;
+
+  switch (call.proc) {
+    case Proc::Null:
+      break;
+    case Proc::Getattr: {
+      GetattrArgs args = GetattrArgs::parse(body);
+      try {
+        Fattr attr = co_await fattr_of(args.fh);
+        if (attr.type == fs::InodeType::Free) {
+          status = Status::Stale;
+        } else {
+          attr.serialize(w);
+        }
+      } catch (const std::out_of_range&) {
+        status = Status::Stale;
+      }
+      break;
+    }
+    case Proc::Lookup: {
+      LookupArgs args = LookupArgs::parse(body);
+      auto found =
+          co_await fs_.lookup(std::uint32_t(args.dir_fh), args.name);
+      if (!found) {
+        status = Status::NoEnt;
+      } else {
+        w.u64(*found);
+        Fattr attr = co_await fattr_of(*found);
+        attr.serialize(w);
+      }
+      break;
+    }
+    case Proc::Create:
+    case Proc::Mkdir: {
+      CreateArgs args = CreateArgs::parse(body);
+      fs::InodeType type = call.proc == Proc::Mkdir
+                               ? fs::InodeType::Directory
+                               : args.type;
+      std::uint32_t ino =
+          co_await fs_.create(std::uint32_t(args.dir_fh), args.name, type);
+      if (ino == 0) {
+        status = Status::Exist;
+      } else {
+        w.u64(ino);
+        Fattr attr = co_await fattr_of(ino);
+        attr.serialize(w);
+      }
+      break;
+    }
+    case Proc::Remove: {
+      LookupArgs args = LookupArgs::parse(body);
+      bool ok = co_await fs_.remove(std::uint32_t(args.dir_fh), args.name);
+      if (!ok) status = Status::NoEnt;
+      break;
+    }
+    case Proc::Rename: {
+      RenameArgs args = RenameArgs::parse(body);
+      bool ok = co_await fs_.rename(std::uint32_t(args.src_dir),
+                                    args.src_name,
+                                    std::uint32_t(args.dst_dir),
+                                    args.dst_name);
+      if (!ok) status = Status::NoEnt;
+      break;
+    }
+    case Proc::Setattr: {
+      SetattrArgs args = SetattrArgs::parse(body);
+      bool ok = co_await fs_.truncate(std::uint32_t(args.fh), args.size);
+      if (!ok) {
+        status = Status::Io;
+      } else {
+        Fattr attr = co_await fattr_of(args.fh);
+        attr.serialize(w);
+      }
+      break;
+    }
+    case Proc::Readdir: {
+      GetattrArgs args = GetattrArgs::parse(body);
+      auto entries = co_await fs_.readdir(std::uint32_t(args.fh));
+      std::vector<DirEntry> out;
+      out.reserve(entries.size());
+      for (auto& e : entries) {
+        out.push_back(DirEntry{e.ino, e.type, std::move(e.name)});
+      }
+      serialize_dir_entries(w, out);
+      break;
+    }
+    default:
+      status = Status::Io;
+      break;
+  }
+  send_reply(req, call.xid, status, reply_body);
+}
+
+}  // namespace ncache::nfs

@@ -1,0 +1,106 @@
+// The pass-through NFS server, in the paper's three configurations:
+//
+//   * Original — the stock data path. Every regular-data payload is
+//     physically copied at each module boundary: buffer cache -> daemon
+//     buffer -> socket on reads (2 copies/hit, 3/miss including the
+//     initiator's), socket -> buffer cache on writes (1/overwritten,
+//     2/flushed). These are exactly the Table 2 counts.
+//   * NCache — logical copying end-to-end: READ replies carry keys that
+//     the egress interceptor materializes; WRITE payloads are ingested
+//     into the FHO cache and keys travel into the fs.
+//   * Baseline — the paper's ideal zero-copy yardstick (§5.1): all
+//     regular-data movement elided, junk bits on the wire.
+//
+// Requests queue centrally; N daemon coroutines serve them (the paper
+// tunes "the number of NFS server daemons ... to reach the best
+// performance").
+#pragma once
+
+#include <deque>
+
+#include "core/ncache_module.h"
+#include "core/pass_mode.h"
+#include "fs/simple_fs.h"
+#include "nfs/protocol.h"
+#include "proto/stack.h"
+
+namespace ncache::nfs {
+
+/// One enum across all pass-through servers (NFS and kHTTPd).
+using ServerMode = core::PassMode;
+using core::to_string;
+
+struct NfsServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t metadata_ops = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t unaligned_writes = 0;  ///< NCache fell back to copying
+  std::size_t queue_hwm = 0;
+};
+
+class NfsServer {
+ public:
+  struct Config {
+    ServerMode mode = ServerMode::Original;
+    int daemons = 8;
+    std::uint16_t port = kNfsPort;
+  };
+
+  /// `ncache` is required in NCache mode (ignored otherwise).
+  NfsServer(proto::NetworkStack& stack, fs::SimpleFs& fs, Config config,
+            core::NCacheModule* ncache = nullptr);
+
+  /// Binds the UDP port and launches the daemon pool.
+  void start();
+  /// Unbinds and winds the daemons down.
+  void stop();
+  bool running() const noexcept { return running_; }
+
+  ServerMode mode() const noexcept { return config_.mode; }
+  const NfsServerStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = NfsServerStats{}; }
+
+ private:
+  struct Request {
+    proto::Ipv4Addr client_ip;
+    std::uint16_t client_port;
+    proto::Ipv4Addr server_ip;  ///< which NIC it arrived on (reply binding)
+    netbuf::MsgBuffer msg;
+  };
+
+  void on_datagram(proto::Ipv4Addr src_ip, std::uint16_t src_port,
+                   proto::Ipv4Addr dst_ip, std::uint16_t dst_port,
+                   netbuf::MsgBuffer msg);
+  Task<void> daemon_loop(int index);
+  Task<std::optional<Request>> next_request();
+  Task<void> handle(Request req);
+
+  Task<void> do_read(const Request& req, const CallHeader& call,
+                     ByteReader& body);
+  Task<void> do_write(const Request& req, const CallHeader& call,
+                      ByteReader& body, const netbuf::MsgBuffer& msg);
+  Task<void> do_metadata(const Request& req, const CallHeader& call,
+                         ByteReader& body);
+
+  void send_reply(const Request& req, std::uint32_t xid, Status status,
+                  std::span<const std::byte> body,
+                  netbuf::MsgBuffer payload = {});
+  Task<Fattr> fattr_of(std::uint64_t fh);
+
+  proto::NetworkStack& stack_;
+  fs::SimpleFs& fs_;
+  Config config_;
+  core::NCacheModule* ncache_;
+
+  bool running_ = false;
+  std::deque<Request> queue_;
+  std::deque<std::function<void(std::optional<Request>)>> waiting_;
+  int live_daemons_ = 0;
+  NfsServerStats stats_;
+};
+
+}  // namespace ncache::nfs

@@ -1,0 +1,45 @@
+// The unit that crosses a simulated link: one Ethernet frame.
+//
+// L3/L4 headers travel in typed form plus their exact on-wire byte count;
+// the L4 payload slice travels as a MsgBuffer, which may still contain
+// logical (KeySeg) segments until the NCache egress interceptor
+// materializes them at the driver boundary.
+#pragma once
+
+#include <optional>
+
+#include "netbuf/msg_buffer.h"
+#include "proto/headers.h"
+
+namespace ncache::proto {
+
+struct Frame {
+  EthHeader eth;
+  Ipv4Header ip;
+  /// Present on the first fragment of a datagram only.
+  std::optional<UdpHeader> udp;
+  std::optional<TcpHeader> tcp;
+
+  /// L4 payload bytes carried by this frame (post-IP-fragmentation slice).
+  netbuf::MsgBuffer payload;
+
+  /// NCache: the L4 checksum was inherited from the cached originator
+  /// rather than recomputed (§1: "checksum ... inherited from the
+  /// payload's originator").
+  bool l4_checksum_inherited = false;
+
+  std::size_t l3l4_header_bytes() const noexcept {
+    std::size_t n = kIpv4HeaderBytes;
+    if (udp) n += kUdpHeaderBytes;
+    if (tcp) n += kTcpHeaderBytes;
+    return n;
+  }
+
+  /// Total bytes on the wire excluding the fixed per-frame overhead the
+  /// Link model adds (preamble/FCS/IFG).
+  std::size_t wire_bytes() const noexcept {
+    return kEthHeaderBytes + l3l4_header_bytes() + payload.size();
+  }
+};
+
+}  // namespace ncache::proto

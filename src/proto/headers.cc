@@ -1,0 +1,140 @@
+#include "proto/headers.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/checksum.h"
+
+namespace ncache::proto {
+
+std::string ipv4_to_string(Ipv4Addr a) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (a >> 24) & 0xff,
+                (a >> 16) & 0xff, (a >> 8) & 0xff, a & 0xff);
+  return buf;
+}
+
+void EthHeader::serialize(ByteWriter& w) const {
+  w.u16(static_cast<std::uint16_t>(dst >> 32));
+  w.u32(static_cast<std::uint32_t>(dst));
+  w.u16(static_cast<std::uint16_t>(src >> 32));
+  w.u32(static_cast<std::uint32_t>(src));
+  w.u16(ethertype);
+}
+
+EthHeader EthHeader::parse(ByteReader& r) {
+  EthHeader h;
+  h.dst = (std::uint64_t(r.u16()) << 32) | r.u32();
+  h.src = (std::uint64_t(r.u16()) << 32) | r.u32();
+  h.ethertype = r.u16();
+  return h;
+}
+
+void Ipv4Header::serialize(ByteWriter& w) const {
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(tos);
+  w.u16(total_length);
+  w.u16(id);
+  std::uint16_t frag = fragment_offset & 0x1fff;
+  if (dont_fragment) frag |= 0x4000;
+  if (more_fragments) frag |= 0x2000;
+  w.u16(frag);
+  w.u8(ttl);
+  w.u8(static_cast<std::uint8_t>(protocol));
+  w.u16(checksum);
+  w.u32(src);
+  w.u32(dst);
+}
+
+std::vector<std::byte> Ipv4Header::serialize_with_checksum() const {
+  std::vector<std::byte> out;
+  out.reserve(kIpv4HeaderBytes);
+  ByteWriter w(out);
+  Ipv4Header tmp = *this;
+  tmp.checksum = 0;
+  tmp.serialize(w);
+  std::uint16_t csum = internet_checksum(out);
+  out[10] = std::byte{static_cast<std::uint8_t>(csum >> 8)};
+  out[11] = std::byte{static_cast<std::uint8_t>(csum)};
+  return out;
+}
+
+Ipv4Header Ipv4Header::parse(ByteReader& r) {
+  Ipv4Header h;
+  std::uint8_t vihl = r.u8();
+  if (vihl != 0x45) throw std::runtime_error("Ipv4Header: unsupported IHL");
+  h.tos = r.u8();
+  h.total_length = r.u16();
+  h.id = r.u16();
+  std::uint16_t frag = r.u16();
+  h.dont_fragment = frag & 0x4000;
+  h.more_fragments = frag & 0x2000;
+  h.fragment_offset = frag & 0x1fff;
+  h.ttl = r.u8();
+  h.protocol = static_cast<IpProto>(r.u8());
+  h.checksum = r.u16();
+  h.src = r.u32();
+  h.dst = r.u32();
+  return h;
+}
+
+bool Ipv4Header::checksum_ok(std::span<const std::byte> hdr20) {
+  return internet_checksum(hdr20) == 0;
+}
+
+void UdpHeader::serialize(ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(checksum);
+}
+
+UdpHeader UdpHeader::parse(ByteReader& r) {
+  UdpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.length = r.u16();
+  h.checksum = r.u16();
+  return h;
+}
+
+void TcpHeader::serialize(ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(0x50);  // data offset 5 words
+  w.u8(flags);
+  w.u16(window);
+  w.u16(checksum);
+  w.u16(0);  // urgent pointer
+}
+
+TcpHeader TcpHeader::parse(ByteReader& r) {
+  TcpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  std::uint8_t off = r.u8();
+  if (off != 0x50) throw std::runtime_error("TcpHeader: options unsupported");
+  h.flags = r.u8();
+  h.window = r.u16();
+  h.checksum = r.u16();
+  r.u16();  // urgent pointer
+  return h;
+}
+
+std::uint32_t pseudo_header_sum(Ipv4Addr src, Ipv4Addr dst, IpProto proto,
+                                std::uint16_t l4_length) noexcept {
+  std::uint32_t acc = 0;
+  acc += src >> 16;
+  acc += src & 0xffff;
+  acc += dst >> 16;
+  acc += dst & 0xffff;
+  acc += static_cast<std::uint16_t>(proto);
+  acc += l4_length;
+  return acc;
+}
+
+}  // namespace ncache::proto

@@ -1,0 +1,113 @@
+// Wire-format protocol headers (Ethernet II, IPv4, UDP, TCP).
+//
+// Headers are kept as typed structs on the simulated wire for speed, but
+// every struct has real big-endian serialize/parse round-trips used for
+// checksum computation and exercised by the test suite, so the formats are
+// honest RFC 791/768/793 layouts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace ncache::proto {
+
+using MacAddr = std::uint64_t;   // lower 48 bits significant
+using Ipv4Addr = std::uint32_t;  // host byte order in memory
+
+constexpr std::size_t kEthHeaderBytes = 14;
+constexpr std::size_t kIpv4HeaderBytes = 20;  // no options
+constexpr std::size_t kUdpHeaderBytes = 8;
+constexpr std::size_t kTcpHeaderBytes = 20;  // no options
+constexpr std::size_t kMtu = 1500;           // Ethernet payload budget
+
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr MacAddr kBroadcastMac = 0xffffffffffffULL;
+
+/// Renders 10.0.0.7 style text for logs.
+std::string ipv4_to_string(Ipv4Addr a);
+constexpr Ipv4Addr make_ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                             std::uint8_t d) {
+  return (std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+         (std::uint32_t(c) << 8) | d;
+}
+
+struct EthHeader {
+  MacAddr dst = 0;
+  MacAddr src = 0;
+  std::uint16_t ethertype = kEtherTypeIpv4;
+
+  void serialize(ByteWriter& w) const;
+  static EthHeader parse(ByteReader& r);
+  friend bool operator==(const EthHeader&, const EthHeader&) = default;
+};
+
+enum class IpProto : std::uint8_t { Udp = 17, Tcp = 6 };
+
+struct Ipv4Header {
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;  ///< header + payload in this packet
+  std::uint16_t id = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  std::uint16_t fragment_offset = 0;  ///< in 8-byte units
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::Udp;
+  std::uint16_t checksum = 0;  ///< filled by serialize_with_checksum
+  Ipv4Addr src = 0;
+  Ipv4Addr dst = 0;
+
+  void serialize(ByteWriter& w) const;
+  /// Serializes with the header checksum computed and patched in.
+  std::vector<std::byte> serialize_with_checksum() const;
+  static Ipv4Header parse(ByteReader& r);
+  /// Validates the header checksum of a serialized header.
+  static bool checksum_ok(std::span<const std::byte> hdr20);
+  friend bool operator==(const Ipv4Header&, const Ipv4Header&) = default;
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  ///< header + payload
+  std::uint16_t checksum = 0;
+
+  void serialize(ByteWriter& w) const;
+  static UdpHeader parse(ByteReader& r);
+  friend bool operator==(const UdpHeader&, const UdpHeader&) = default;
+};
+
+// TCP flag bits.
+constexpr std::uint8_t kTcpFin = 0x01;
+constexpr std::uint8_t kTcpSyn = 0x02;
+constexpr std::uint8_t kTcpRst = 0x04;
+constexpr std::uint8_t kTcpPsh = 0x08;
+constexpr std::uint8_t kTcpAck = 0x10;
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+
+  bool syn() const noexcept { return flags & kTcpSyn; }
+  bool ack_flag() const noexcept { return flags & kTcpAck; }
+  bool fin() const noexcept { return flags & kTcpFin; }
+  bool rst() const noexcept { return flags & kTcpRst; }
+
+  void serialize(ByteWriter& w) const;
+  static TcpHeader parse(ByteReader& r);
+  friend bool operator==(const TcpHeader&, const TcpHeader&) = default;
+};
+
+/// UDP/TCP pseudo-header checksum accumulation (RFC 768/793).
+std::uint32_t pseudo_header_sum(Ipv4Addr src, Ipv4Addr dst, IpProto proto,
+                                std::uint16_t l4_length) noexcept;
+
+}  // namespace ncache::proto

@@ -1,0 +1,75 @@
+#include "proto/nic.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace ncache::proto {
+
+Nic::Nic(sim::EventLoop& loop, sim::CpuModel& cpu, netbuf::CopyEngine& copier,
+         const sim::CostModel& costs, std::string name, MacAddr mac,
+         Ipv4Addr ip)
+    : loop_(loop),
+      cpu_(cpu),
+      copier_(copier),
+      costs_(costs),
+      name_(std::move(name)),
+      mac_(mac),
+      ip_(ip) {}
+
+void Nic::send(Frame frame) {
+  if (!tx_) throw std::logic_error("Nic::send: not attached to a link");
+
+  if (egress_filter_ && !egress_filter_(frame)) {
+    ++dropped_;
+    return;
+  }
+
+  // L4 checksum: when the NIC offloads (testbed default), the host CPU pays
+  // nothing. In software mode the CPU walks every physical payload byte
+  // plus the headers — unless NCache inherited the originator's checksum.
+  if (!costs_.checksum_offload && !frame.l4_checksum_inherited) {
+    copier_.charge_checksum(frame.payload.size() + frame.l3l4_header_bytes());
+  }
+
+  std::size_t wire = frame.wire_bytes();
+  tx_meter_.add(wire);
+  tx_frames_.add();
+
+  // Driver/stack per-frame transmit work serializes on the host CPU, then
+  // the frame serializes on the link. TCP frames carry a higher per-packet
+  // protocol cost than UDP frames.
+  sim::Duration cost = frame.tcp
+                           ? sim::Duration(double(costs_.packet_tx_ns) *
+                                           costs_.tcp_packet_factor)
+                           : costs_.packet_tx_ns;
+  auto f = std::make_shared<Frame>(std::move(frame));
+  cpu_.submit(cost, [this, f, wire] {
+    tx_->transmit(wire, [this, f] { tx_peer_(std::move(*f)); });
+  });
+}
+
+void Nic::deliver(Frame frame) {
+  rx_meter_.add(frame.wire_bytes());
+  rx_frames_.add();
+
+  if (!costs_.checksum_offload && !frame.l4_checksum_inherited) {
+    copier_.charge_checksum(frame.payload.size() + frame.l3l4_header_bytes());
+  }
+
+  sim::Duration cost = frame.tcp
+                           ? sim::Duration(double(costs_.packet_rx_ns) *
+                                           costs_.tcp_packet_factor)
+                           : costs_.packet_rx_ns;
+  auto f = std::make_shared<Frame>(std::move(frame));
+  cpu_.submit(cost, [this, f] {
+    if (ingress_filter_ && !ingress_filter_(*f)) {
+      ++dropped_;
+      return;
+    }
+    if (rx_) rx_(std::move(*f));
+  });
+}
+
+}  // namespace ncache::proto

@@ -1,0 +1,52 @@
+#include "proto/switch.h"
+
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace ncache::proto {
+
+void EthernetSwitch::connect(Nic& nic) {
+  auto cable = std::make_unique<sim::DuplexLink>(
+      loop_, name_ + ".port" + std::to_string(ports_.size()),
+      costs_.link_bandwidth_bps, costs_.link_latency_ns,
+      costs_.frame_overhead_bytes);
+  std::size_t index = ports_.size();
+
+  // NIC -> switch direction: frames serialize on cable.a_to_b, then land at
+  // this switch's ingress for the port.
+  nic.attach_tx(&cable->a_to_b,
+                [this, index](Frame f) { on_ingress(index, std::move(f)); });
+
+  ports_.push_back(Port{&nic, std::move(cable)});
+  mac_table_[nic.mac()] = index;
+}
+
+void EthernetSwitch::on_ingress(std::size_t port_index, Frame frame) {
+  mac_table_[frame.eth.src] = port_index;  // learn (idempotent here)
+
+  if (frame.eth.dst != kBroadcastMac) {
+    auto it = mac_table_.find(frame.eth.dst);
+    if (it != mac_table_.end()) {
+      ++forwarded_;
+      forward(it->second, std::move(frame));
+      return;
+    }
+  }
+  // Flood to every port except ingress.
+  ++flooded_;
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (i == port_index) continue;
+    forward(i, frame);  // copy per egress port
+  }
+}
+
+void EthernetSwitch::forward(std::size_t out_port, Frame frame) {
+  Port& p = ports_[out_port];
+  std::size_t wire = frame.wire_bytes();
+  auto f = std::make_shared<Frame>(std::move(frame));
+  Nic* nic = p.nic;
+  p.cable->b_to_a.transmit(wire, [nic, f] { nic->deliver(std::move(*f)); });
+}
+
+}  // namespace ncache::proto

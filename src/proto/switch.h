@@ -1,0 +1,50 @@
+// Store-and-forward Ethernet switch (the testbed's NetGear gigabit
+// switch). Non-blocking fabric: each port has its own full-duplex link, so
+// only per-port line rate and store-and-forward latency constrain
+// forwarding. MAC learning on source addresses; unknown/broadcast frames
+// flood.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/nic.h"
+#include "sim/link.h"
+
+namespace ncache::proto {
+
+class EthernetSwitch {
+ public:
+  EthernetSwitch(sim::EventLoop& loop, std::string name,
+                 const sim::CostModel& costs)
+      : loop_(loop), name_(std::move(name)), costs_(costs) {}
+
+  /// Connects a NIC with a dedicated full-duplex cable; learns its MAC
+  /// immediately (static topology — the testbed does not churn).
+  void connect(Nic& nic);
+
+  std::size_t ports() const noexcept { return ports_.size(); }
+  std::uint64_t forwarded() const noexcept { return forwarded_; }
+  std::uint64_t flooded() const noexcept { return flooded_; }
+
+ private:
+  struct Port {
+    Nic* nic;
+    std::unique_ptr<sim::DuplexLink> cable;  // a = NIC side, b = switch side
+  };
+
+  void on_ingress(std::size_t port_index, Frame frame);
+  void forward(std::size_t out_port, Frame frame);
+
+  sim::EventLoop& loop_;
+  std::string name_;
+  const sim::CostModel& costs_;
+  std::vector<Port> ports_;
+  std::unordered_map<MacAddr, std::size_t> mac_table_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t flooded_ = 0;
+};
+
+}  // namespace ncache::proto

@@ -1,0 +1,44 @@
+#include "sim/cpu_model.h"
+
+#include <algorithm>
+
+namespace ncache::sim {
+
+void CpuModel::submit(Duration cost, std::function<void()> done) {
+  Time start = std::max(loop_.now(), free_at_);
+  Time finish = start + cost;
+  free_at_ = finish;
+  // Clip accounting to the current measurement window: work queued before
+  // reset_stats() but finishing after it counts only its in-window part.
+  Time acct_start = std::max(start, window_start_);
+  if (finish > acct_start) busy_ns_ += finish - acct_start;
+  ++items_;
+  if (done) {
+    loop_.schedule_at(finish, std::move(done));
+  }
+}
+
+double CpuModel::utilization() const noexcept {
+  Time now = loop_.now();
+  if (now <= window_start_) return 0.0;
+  Duration elapsed = now - window_start_;
+  // busy_ns_ may exceed elapsed transiently when queued work extends past
+  // `now`; clamp for reporting. Count only busy time already in the past.
+  Duration busy = busy_ns_;
+  if (free_at_ > now) {
+    Duration future = free_at_ - now;
+    busy = busy > future ? busy - future : 0;
+  }
+  return std::min(1.0, double(busy) / double(elapsed));
+}
+
+void CpuModel::reset_stats() noexcept {
+  busy_ns_ = 0;
+  items_ = 0;
+  window_start_ = loop_.now();
+  // If the CPU is mid-item, the remaining in-flight work belongs to the new
+  // window.
+  if (free_at_ > window_start_) busy_ns_ = free_at_ - window_start_;
+}
+
+}  // namespace ncache::sim

@@ -1,0 +1,38 @@
+#include "sim/event_loop.h"
+
+namespace ncache::sim {
+
+void EventLoop::schedule_at(Time at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool EventLoop::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is the
+  // standard workaround and safe because we pop immediately.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++dispatched_;
+  if (ev.fn) ev.fn();  // null fn = pure time marker
+  return true;
+}
+
+std::size_t EventLoop::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t EventLoop::run_until(Time deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace ncache::sim

@@ -1,0 +1,143 @@
+// Deterministic discrete-event loop: the heart of the simulation.
+//
+// Time is a 64-bit nanosecond counter. Events scheduled for the same
+// instant fire in scheduling order (a monotone sequence number breaks
+// ties), which makes every run bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "common/task.h"
+
+namespace ncache::sim {
+
+using Time = std::uint64_t;      // absolute simulated time, ns
+using Duration = std::uint64_t;  // simulated interval, ns
+
+constexpr Duration kMicrosecond = 1'000;
+constexpr Duration kMillisecond = 1'000'000;
+constexpr Duration kSecond = 1'000'000'000;
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now if in the past).
+  void schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` ns.
+  void schedule_in(Duration delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs until no events remain. Returns number of events processed.
+  std::size_t run();
+
+  /// Runs until the clock would pass `deadline` or no events remain.
+  /// Events at exactly `deadline` are processed.
+  std::size_t run_until(Time deadline);
+
+  /// Processes a single event; returns false if none is pending.
+  bool step();
+
+  bool idle() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Total events ever dispatched (for sanity checks in tests).
+  std::uint64_t dispatched() const noexcept { return dispatched_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+/// Awaitable pause: `co_await sleep_for(loop, 10 * kMicrosecond);`
+inline auto sleep_for(EventLoop& loop, Duration d) {
+  struct Awaiter {
+    EventLoop& loop;
+    Duration d;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      loop.schedule_in(d, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+  return Awaiter{loop, d};
+}
+
+/// Runs a Task<T> to completion by pumping the loop; for tests/examples.
+/// Throws if the loop drains before the task finishes (deadlock in the
+/// modelled system).
+namespace detail {
+// Free functions, not capturing lambdas: a coroutine created from a
+// temporary closure dangles once the closure dies (the frame stores only a
+// pointer to it), so all internal wrappers take everything as parameters.
+template <typename T>
+Task<void> sync_wrapper(Task<T> task, std::optional<T>* out, bool* failed,
+                        std::exception_ptr* error) {
+  try {
+    out->emplace(co_await std::move(task));
+  } catch (...) {
+    *error = std::current_exception();
+    *failed = true;
+  }
+}
+
+inline Task<void> sync_wrapper_void(Task<void> task, bool* done,
+                                    std::exception_ptr* error) {
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    *error = std::current_exception();
+  }
+  *done = true;
+}
+}  // namespace detail
+
+template <typename T>
+T sync_wait(EventLoop& loop, Task<T> task) {
+  std::optional<T> out;
+  bool failed = false;
+  std::exception_ptr error;
+  detail::sync_wrapper(std::move(task), &out, &failed, &error).detach();
+  while (!out && !failed && loop.step()) {
+  }
+  if (failed) std::rethrow_exception(error);
+  if (!out) throw std::runtime_error("sync_wait: event loop drained before task completed");
+  return std::move(*out);
+}
+
+inline void sync_wait(EventLoop& loop, Task<void> task) {
+  bool done = false;
+  std::exception_ptr error;
+  detail::sync_wrapper_void(std::move(task), &done, &error).detach();
+  while (!done && loop.step()) {
+  }
+  if (error) std::rethrow_exception(error);
+  if (!done) throw std::runtime_error("sync_wait: event loop drained before task completed");
+}
+
+}  // namespace ncache::sim

@@ -1,0 +1,48 @@
+#include "sim/link.h"
+
+#include <algorithm>
+
+namespace ncache::sim {
+
+Duration Link::tx_time(std::size_t bytes) const noexcept {
+  std::uint64_t wire_bytes = bytes + overhead_bytes_;
+  // ns = bytes * 8 bits * 1e9 / bps
+  return static_cast<Duration>(double(wire_bytes) * 8e9 /
+                               double(bandwidth_bps_));
+}
+
+void Link::transmit(std::size_t bytes, std::function<void()> delivered) {
+  Time start = std::max(loop_.now(), idle_at_);
+  Duration ser = tx_time(bytes);
+  Time done_tx = start + ser;
+  idle_at_ = done_tx;
+
+  Time acct_start = std::max(start, window_start_);
+  if (done_tx > acct_start) busy_ns_ += done_tx - acct_start;
+  ++frames_;
+  payload_bytes_ += bytes;
+
+  loop_.schedule_at(done_tx + latency_ns_, std::move(delivered));
+}
+
+double Link::utilization() const noexcept {
+  Time now = loop_.now();
+  if (now <= window_start_) return 0.0;
+  Duration elapsed = now - window_start_;
+  Duration busy = busy_ns_;
+  if (idle_at_ > now) {
+    Duration future = idle_at_ - now;
+    busy = busy > future ? busy - future : 0;
+  }
+  return std::min(1.0, double(busy) / double(elapsed));
+}
+
+void Link::reset_stats() noexcept {
+  busy_ns_ = 0;
+  frames_ = 0;
+  payload_bytes_ = 0;
+  window_start_ = loop_.now();
+  if (idle_at_ > window_start_) busy_ns_ = idle_at_ - window_start_;
+}
+
+}  // namespace ncache::sim

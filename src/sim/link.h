@@ -1,0 +1,72 @@
+// Serializing point-to-point link model.
+//
+// A Link is unidirectional: frames queue behind each other at the line
+// rate, then arrive after the propagation delay. Utilization accounting
+// mirrors CpuModel so benches can identify which resource saturates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/cost_model.h"
+#include "sim/event_loop.h"
+
+namespace ncache::sim {
+
+class Link {
+ public:
+  Link(EventLoop& loop, std::string name, std::uint64_t bandwidth_bps,
+       Duration latency_ns, std::uint32_t per_frame_overhead_bytes)
+      : loop_(loop),
+        name_(std::move(name)),
+        bandwidth_bps_(bandwidth_bps),
+        latency_ns_(latency_ns),
+        overhead_bytes_(per_frame_overhead_bytes) {}
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Transmits a frame of `bytes` payload (wire overhead added internally);
+  /// `delivered` fires at the receiver once the last bit arrives.
+  void transmit(std::size_t bytes, std::function<void()> delivered);
+
+  /// Busy fraction since last reset_stats().
+  double utilization() const noexcept;
+  std::uint64_t frames() const noexcept { return frames_; }
+  std::uint64_t payload_bytes() const noexcept { return payload_bytes_; }
+  void reset_stats() noexcept;
+
+  /// Serialization time for a frame of `bytes` payload.
+  Duration tx_time(std::size_t bytes) const noexcept;
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  EventLoop& loop_;
+  std::string name_;
+  std::uint64_t bandwidth_bps_;
+  Duration latency_ns_;
+  std::uint32_t overhead_bytes_;
+
+  Time idle_at_ = 0;
+  Duration busy_ns_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  Time window_start_ = 0;
+};
+
+/// A full-duplex cable: two independent directions.
+struct DuplexLink {
+  DuplexLink(EventLoop& loop, const std::string& name,
+             std::uint64_t bandwidth_bps, Duration latency_ns,
+             std::uint32_t overhead_bytes)
+      : a_to_b(loop, name + ".fwd", bandwidth_bps, latency_ns, overhead_bytes),
+        b_to_a(loop, name + ".rev", bandwidth_bps, latency_ns,
+               overhead_bytes) {}
+
+  Link a_to_b;
+  Link b_to_a;
+};
+
+}  // namespace ncache::sim

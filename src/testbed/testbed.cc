@@ -1,0 +1,146 @@
+#include "testbed/testbed.h"
+
+#include "common/logging.h"
+
+namespace ncache::testbed {
+
+using proto::make_ipv4;
+
+proto::Ipv4Addr Testbed::server_ip(int nic) const {
+  return make_ipv4(10, 0, 0, std::uint8_t(10 + nic));
+}
+
+proto::Ipv4Addr Testbed::client_ip(int i) const {
+  return make_ipv4(10, 0, 0, std::uint8_t(100 + i));
+}
+
+Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+  book_ = std::make_shared<proto::AddressBook>();
+  switch_ = std::make_unique<proto::EthernetSwitch>(loop_, "switch",
+                                                    config_.costs);
+
+  storage_ = std::make_unique<Node>(loop_, config_.costs, book_, "storage");
+  storage_->stack.add_nic(0x10, kStorageIp);
+  switch_->connect(storage_->stack.nic(0));
+
+  server_ = std::make_unique<Node>(loop_, config_.costs, book_, "server");
+  for (int n = 0; n < config_.server_nics; ++n) {
+    server_->stack.add_nic(0x20 + std::uint64_t(n), server_ip(n));
+    switch_->connect(server_->stack.nic(std::size_t(n)));
+  }
+
+  for (int i = 0; i < config_.client_count; ++i) {
+    auto client = std::make_unique<Node>(loop_, config_.costs, book_,
+                                         "client" + std::to_string(i));
+    client->stack.add_nic(0x30 + std::uint64_t(i), client_ip(i));
+    switch_->connect(client->stack.nic(0));
+    clients_.push_back(std::move(client));
+  }
+
+  store_ = std::make_unique<blockdev::BlockStore>(
+      loop_, config_.costs, "raid0", config_.volume_blocks);
+  image_ = std::make_unique<fs::FsImageBuilder>(*store_, config_.volume_blocks,
+                                                config_.inode_count);
+  target_ = std::make_unique<iscsi::IscsiTarget>(storage_->stack, *store_);
+  if (config_.wire_format_target) {
+    core::NetCentricCache::Config wc;
+    wc.pool_budget_bytes = config_.wire_target_budget_bytes;
+    wire_target_ =
+        std::make_unique<core::WireFormatTarget>(storage_->stack, wc);
+    wire_target_->attach(*target_);
+  }
+  initiator_ = std::make_unique<iscsi::IscsiInitiator>(
+      server_->stack, server_ip(0), kStorageIp, /*target_id=*/0);
+
+  switch (config_.mode) {
+    case core::PassMode::Original:
+      initiator_->set_payload_policy(iscsi::PayloadPolicy::Copy);
+      break;
+    case core::PassMode::NCache: {
+      core::NetCentricCache::Config cc;
+      cc.pool_budget_bytes = config_.ncache_budget_bytes;
+      ncache_ = std::make_unique<core::NCacheModule>(server_->stack, cc);
+      ncache_->attach_egress();
+      ncache_->attach_initiator(*initiator_);
+      break;
+    }
+    case core::PassMode::Baseline:
+      initiator_->set_payload_policy(iscsi::PayloadPolicy::Junk);
+      break;
+  }
+
+  fs_ = std::make_unique<fs::SimpleFs>(loop_, *initiator_,
+                                       config_.fs_cache_blocks,
+                                       config_.fs_readahead_blocks);
+}
+
+void Testbed::start_base() {
+  if (!image_->finished()) image_->finish();
+  target_->start();
+  auto up_fn = [this]() -> Task<void> {
+    bool ok = co_await initiator_->login();
+    if (!ok) throw std::runtime_error("Testbed: iSCSI login failed");
+    co_await fs_->mount();
+  };
+  sim::sync_wait(loop_, up_fn());
+}
+
+void Testbed::start_nfs() {
+  start_base();
+  nfs::NfsServer::Config sc;
+  sc.mode = config_.mode;
+  sc.daemons = config_.nfs_daemons;
+  nfs_server_ = std::make_unique<nfs::NfsServer>(
+      server_->stack, *fs_, sc, ncache_.get());
+  nfs_server_->start();
+
+  for (int i = 0; i < config_.client_count; ++i) {
+    nfs_clients_.push_back(std::make_unique<nfs::NfsClient>(
+        clients_[std::size_t(i)]->stack, client_ip(i),
+        server_ip(i % config_.server_nics), std::uint16_t(700 + i)));
+  }
+}
+
+void Testbed::reset_stats() {
+  storage_->cpu.reset_stats();
+  server_->cpu.reset_stats();
+  for (auto& c : clients_) c->cpu.reset_stats();
+  storage_->copier.reset_stats();
+  server_->copier.reset_stats();
+  for (auto& c : clients_) c->copier.reset_stats();
+  for (std::size_t n = 0; n < server_->stack.nic_count(); ++n) {
+    auto* link = server_->stack.nic(n).tx_link();
+    if (link) link->reset_stats();
+    server_->stack.nic(n).tx_meter().reset();
+    server_->stack.nic(n).rx_meter().reset();
+  }
+  if (nfs_server_) nfs_server_->reset_stats();
+  if (ncache_) ncache_->reset_stats();
+  store_->raid().reset_stats();
+}
+
+Testbed::Snapshot Testbed::snapshot(sim::Time window_start) const {
+  Snapshot s;
+  s.elapsed_s = double(loop_.now() - window_start) / 1e9;
+  s.server_cpu = server_->cpu.utilization();
+  s.storage_cpu = storage_->cpu.utilization();
+  for (const auto& c : clients_) {
+    s.client_cpu_max = std::max(s.client_cpu_max, c->cpu.utilization());
+  }
+  for (std::size_t n = 0; n < server_->stack.nic_count(); ++n) {
+    auto& nic = const_cast<Node&>(*server_).stack.nic(n);
+    if (nic.tx_link()) {
+      s.server_link_util = std::max(s.server_link_util,
+                                    nic.tx_link()->utilization());
+    }
+  }
+  s.server_data_copies = server_->copier.stats().data_copy_ops;
+  s.server_logical_copies = server_->copier.stats().logical_copy_ops;
+  if (nfs_server_) {
+    s.nfs_requests = nfs_server_->stats().requests;
+    s.read_bytes_served = nfs_server_->stats().read_bytes;
+  }
+  return s;
+}
+
+}  // namespace ncache::testbed

@@ -1,0 +1,149 @@
+// The paper's 4-node testbed (§5.2), assembled:
+//
+//   storage (P-III 1 GHz, 4-disk RAID-0, iSCSI target)
+//      |
+//   [NetGear GbE switch] -- clients (x2, P-III 1 GHz)
+//      |
+//   app server
+//   (NFS / kHTTPd in one of the three modes,
+//    iSCSI initiator, SimpleFS + buffer cache,
+//    optional NCache module; 1 or 2 NICs)
+//
+// The testbed owns all nodes and wiring; tests, examples and every bench
+// build on it. Metric snapshots expose per-node CPU utilization, link
+// utilization, copy counts and cache stats — everything the paper's
+// figures report.
+#pragma once
+
+#include <memory>
+
+#include "blockdev/block_store.h"
+#include "core/ncache_module.h"
+#include "core/wire_target.h"
+#include "fs/image_builder.h"
+#include "fs/simple_fs.h"
+#include "iscsi/initiator.h"
+#include "iscsi/target.h"
+#include "nfs/client.h"
+#include "nfs/server.h"
+#include "proto/switch.h"
+
+namespace ncache::testbed {
+
+/// One simulated host: CPU + copy engine + network stack.
+struct Node {
+  Node(sim::EventLoop& loop, const sim::CostModel& costs,
+       std::shared_ptr<proto::AddressBook> book, std::string name)
+      : cpu(loop, name + ".cpu"),
+        copier(cpu, costs),
+        stack(loop, cpu, copier, costs, name, std::move(book)) {}
+
+  sim::CpuModel cpu;
+  netbuf::CopyEngine copier;
+  proto::NetworkStack stack;
+};
+
+struct TestbedConfig {
+  core::PassMode mode = core::PassMode::Original;
+
+  // Topology.
+  int server_nics = 1;  ///< 1 (Fig 5a) or 2 (Fig 5b)
+  int client_count = 2;
+
+  // Storage volume.
+  std::uint64_t volume_blocks = 64 * 1024;  ///< 256 MB default
+  std::uint32_t inode_count = 16 * 1024;
+
+  // App-server caches.
+  std::size_t fs_cache_blocks = 4096;       ///< 16 MB buffer cache
+  std::size_t fs_readahead_blocks = 8;      ///< tuned per experiment (§5.4)
+  std::size_t ncache_budget_bytes = 192u << 20;
+
+  // §6 extension: wire-format block cache on the storage server.
+  bool wire_format_target = false;
+  std::size_t wire_target_budget_bytes = 96u << 20;
+
+  // NFS.
+  int nfs_daemons = 8;
+
+  sim::CostModel costs{};
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+
+  /// Phase 1 (before start): populate the storage volume directly.
+  fs::FsImageBuilder& image() { return *image_; }
+
+  /// Phase 2: brings the system up — iSCSI login, fs mount, NFS server
+  /// start. Runs the event loop until ready.
+  void start_nfs();
+  /// Same bring-up without an NFS server (kHTTPd attaches separately).
+  void start_base();
+
+  sim::EventLoop& loop() noexcept { return loop_; }
+  const TestbedConfig& config() const noexcept { return config_; }
+  const sim::CostModel& costs() const noexcept { return config_.costs; }
+
+  Node& storage_node() noexcept { return *storage_; }
+  Node& server_node() noexcept { return *server_; }
+  Node& client_node(int i) { return *clients_.at(i); }
+  int client_count() const noexcept { return int(clients_.size()); }
+
+  blockdev::BlockStore& store() noexcept { return *store_; }
+  iscsi::IscsiTarget& target() noexcept { return *target_; }
+  iscsi::IscsiInitiator& initiator() noexcept { return *initiator_; }
+  fs::SimpleFs& fs() noexcept { return *fs_; }
+  nfs::NfsServer& nfs_server() { return *nfs_server_; }
+  core::NCacheModule* ncache() noexcept { return ncache_.get(); }
+  core::WireFormatTarget* wire_target() noexcept { return wire_target_.get(); }
+  proto::EthernetSwitch& ether_switch() noexcept { return *switch_; }
+
+  /// Per-client NFS client handle. Client i binds to server NIC i %
+  /// server_nics, spreading load across both NICs in the 2-NIC setup.
+  nfs::NfsClient& nfs_client(int i) { return *nfs_clients_.at(i); }
+
+  proto::Ipv4Addr server_ip(int nic = 0) const;
+  proto::Ipv4Addr client_ip(int i) const;
+  static constexpr proto::Ipv4Addr kStorageIp = proto::make_ipv4(10, 0, 0, 1);
+
+  /// Resets every utilization window / counter for a measurement interval.
+  void reset_stats();
+
+  /// Aggregate measurement snapshot over the window since reset_stats().
+  struct Snapshot {
+    double elapsed_s = 0;
+    double server_cpu = 0;   ///< utilization [0,1]
+    double storage_cpu = 0;
+    double client_cpu_max = 0;
+    double server_link_util = 0;  ///< max across server NIC tx links
+    std::uint64_t server_data_copies = 0;
+    std::uint64_t server_logical_copies = 0;
+    std::uint64_t nfs_requests = 0;
+    std::uint64_t read_bytes_served = 0;
+  };
+  Snapshot snapshot(sim::Time window_start) const;
+
+ private:
+  TestbedConfig config_;
+  sim::EventLoop loop_;
+  std::shared_ptr<proto::AddressBook> book_;
+  std::unique_ptr<proto::EthernetSwitch> switch_;
+
+  std::unique_ptr<Node> storage_;
+  std::unique_ptr<Node> server_;
+  std::vector<std::unique_ptr<Node>> clients_;
+
+  std::unique_ptr<blockdev::BlockStore> store_;
+  std::unique_ptr<fs::FsImageBuilder> image_;
+  std::unique_ptr<iscsi::IscsiTarget> target_;
+  std::unique_ptr<iscsi::IscsiInitiator> initiator_;
+  std::unique_ptr<core::NCacheModule> ncache_;
+  std::unique_ptr<core::WireFormatTarget> wire_target_;
+  std::unique_ptr<fs::SimpleFs> fs_;
+  std::unique_ptr<nfs::NfsServer> nfs_server_;
+  std::vector<std::unique_ptr<nfs::NfsClient>> nfs_clients_;
+};
+
+}  // namespace ncache::testbed

@@ -1,0 +1,56 @@
+// Shared accounting for workload generators.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "sim/event_loop.h"
+
+namespace ncache::workload {
+
+struct Counters {
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t errors = 0;
+  LatencyHistogram latency;
+
+  void record(std::uint64_t op_bytes, sim::Duration lat_ns, bool ok) {
+    if (ok) {
+      ++ops;
+      bytes += op_bytes;
+      latency.record(lat_ns);
+    } else {
+      ++errors;
+    }
+  }
+
+  double ops_per_sec(sim::Duration elapsed_ns) const {
+    return elapsed_ns ? double(ops) * 1e9 / double(elapsed_ns) : 0.0;
+  }
+  double mb_per_sec(sim::Duration elapsed_ns) const {
+    return elapsed_ns ? double(bytes) / 1e6 * 1e9 / double(elapsed_ns) : 0.0;
+  }
+};
+
+/// Cooperative stop flag shared between a driver and its workers.
+struct StopFlag {
+  bool stopped = false;
+  int live_workers = 0;
+};
+
+/// Standard measurement driver: runs the event loop for `duration` of
+/// simulated time, raises the stop flag, then drains in-flight work.
+/// Returns the measurement window (== duration; the small tail of ops
+/// completing during the drain is counted, as in any fixed-interval
+/// benchmark).
+inline sim::Duration run_measurement(sim::EventLoop& loop, StopFlag& stop,
+                                     sim::Duration duration) {
+  sim::Time start = loop.now();
+  loop.run_until(start + duration);
+  stop.stopped = true;
+  while (stop.live_workers > 0 && loop.step()) {
+  }
+  return duration;
+}
+
+}  // namespace ncache::workload

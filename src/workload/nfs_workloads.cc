@@ -1,0 +1,119 @@
+#include "workload/nfs_workloads.h"
+
+namespace ncache::workload {
+
+using nfs::Status;
+
+Task<void> sequential_read_worker(nfs::NfsClient& client, std::uint64_t fh,
+                                  std::uint64_t file_size,
+                                  std::uint32_t request_size,
+                                  std::uint64_t start_offset, StopFlag* stop,
+                                  Counters* counters) {
+  ++stop->live_workers;
+  std::uint64_t offset = start_offset % file_size;
+  while (!stop->stopped) {
+    std::uint32_t want = std::uint32_t(
+        std::min<std::uint64_t>(request_size, file_size - offset));
+    auto r = co_await client.read(fh, offset, want);
+    counters->record(r.data.size(), 0, r.status == Status::Ok);
+    offset += want;
+    if (offset >= file_size) offset = 0;
+  }
+  --stop->live_workers;
+}
+
+Task<void> windowed_sequential_worker(nfs::NfsClient& client,
+                                      std::uint64_t fh,
+                                      std::uint64_t file_size,
+                                      std::uint32_t request_size,
+                                      std::shared_ptr<std::uint64_t> cursor,
+                                      StopFlag* stop, Counters* counters) {
+  ++stop->live_workers;
+  while (!stop->stopped) {
+    std::uint64_t offset = *cursor;
+    *cursor += request_size;
+    if (*cursor >= file_size) *cursor = 0;
+    std::uint32_t want = std::uint32_t(
+        std::min<std::uint64_t>(request_size, file_size - offset));
+    auto r = co_await client.read(fh, offset, want);
+    counters->record(r.data.size(), 0, r.status == nfs::Status::Ok);
+  }
+  --stop->live_workers;
+}
+
+Task<void> hot_read_worker(nfs::NfsClient& client, std::uint64_t fh,
+                           std::uint64_t file_size, std::uint32_t request_size,
+                           std::uint32_t seed, StopFlag* stop,
+                           Counters* counters) {
+  ++stop->live_workers;
+  Pcg32 rng(seed);
+  std::uint64_t chunks = std::max<std::uint64_t>(1, file_size / request_size);
+  while (!stop->stopped) {
+    std::uint64_t chunk = rng.below(std::uint32_t(chunks));
+    std::uint64_t offset = chunk * request_size;
+    std::uint32_t want = std::uint32_t(
+        std::min<std::uint64_t>(request_size, file_size - offset));
+    auto r = co_await client.read(fh, offset, want);
+    counters->record(r.data.size(), 0, r.status == Status::Ok);
+  }
+  --stop->live_workers;
+}
+
+Task<void> specsfs_worker(nfs::NfsClient& client,
+                          std::shared_ptr<const std::vector<
+                              std::pair<std::uint64_t, std::uint64_t>>> files,
+                          SpecSfsConfig config, std::uint32_t worker_id,
+                          StopFlag* stop, Counters* counters) {
+  ++stop->live_workers;
+  Pcg32 rng(config.seed * 7919 + worker_id);
+  std::vector<std::byte> write_buf(32768);
+
+  while (!stop->stopped) {
+    const auto& [fh, size] = (*files)[rng.below(std::uint32_t(files->size()))];
+    bool data_op = rng.uniform() < config.data_op_fraction;
+    if (!data_op) {
+      // Metadata mix: GETATTR-heavy, some LOOKUPs on the root directory.
+      if (rng.uniform() < 0.7) {
+        auto attr = co_await client.getattr(fh);
+        counters->record(0, 0, attr.has_value());
+      } else {
+        auto found = co_await client.lookup(
+            fs::kRootIno, "sfs" + std::to_string(rng.below(
+                              std::uint32_t(files->size()))));
+        counters->record(0, 0, found.has_value());
+      }
+      continue;
+    }
+
+    std::uint32_t req =
+        config.size_table[rng.below(std::uint32_t(config.size_table.size()))];
+    std::uint64_t max_chunk = size > req ? size / req : 1;
+    std::uint64_t offset = std::uint64_t(rng.below(std::uint32_t(max_chunk))) *
+                           req;
+    if (offset >= size) offset = 0;
+    std::uint32_t len =
+        std::uint32_t(std::min<std::uint64_t>(req, size - offset));
+
+    if (rng.uniform() < config.read_fraction) {
+      sim::Time t0 = client.loop().now();
+      auto r = co_await client.read(fh, offset, len);
+      counters->record(r.data.size(), client.loop().now() - t0,
+                       r.status == Status::Ok);
+    } else {
+      // Block-aligned write of fresh bytes (keeps NCache's aligned path
+      // hot, like SPECsfs's full-block writes).
+      std::uint32_t wlen = len < 4096 ? 4096 : len & ~4095u;
+      std::uint64_t woff = offset & ~4095ull;
+      for (std::size_t i = 0; i < wlen; ++i) {
+        write_buf[i] = std::byte((i + worker_id) & 0xff);
+      }
+      sim::Time t0 = client.loop().now();
+      Status s = co_await client.write(
+          fh, woff, std::span<const std::byte>(write_buf.data(), wlen));
+      counters->record(wlen, client.loop().now() - t0, s == Status::Ok);
+    }
+  }
+  --stop->live_workers;
+}
+
+}  // namespace ncache::workload

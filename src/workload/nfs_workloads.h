@@ -1,0 +1,72 @@
+// NFS workload generators reproducing §5.3:
+//
+//  * sequential_read_worker — the *all-miss* microbenchmark: sequentially
+//    read a file far larger than every cache, so each request reaches the
+//    storage server;
+//  * hot_read_worker — the *all-hit* microbenchmark: repeatedly read a
+//    small (5 MB) file that stays resident;
+//  * SpecSfsWorkload — the SPECsfs-flavoured macrobenchmark: an op mix
+//    over a 10 % active file set with small-request-dominated sizes, a
+//    5:1 read:write ratio among data ops, and a sweepable fraction of
+//    regular-data vs metadata operations (Fig 7's x-axis).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nfs/client.h"
+#include "workload/counters.h"
+
+namespace ncache::workload {
+
+/// Sequentially reads [start_offset, file_size) in `request_size` chunks,
+/// wrapping around, until `stop->stopped`. One worker models one
+/// outstanding request stream (the paper tunes daemon/stream counts).
+Task<void> sequential_read_worker(nfs::NfsClient& client, std::uint64_t fh,
+                                  std::uint64_t file_size,
+                                  std::uint32_t request_size,
+                                  std::uint64_t start_offset, StopFlag* stop,
+                                  Counters* counters);
+
+/// Windowed sequential reader: several workers share one cursor, so the
+/// file is read in strict offset order with (workers) requests in flight —
+/// the ATP-style pipelined sequential stream the all-miss microbenchmark
+/// needs to saturate the storage path while keeping disks sequential.
+Task<void> windowed_sequential_worker(nfs::NfsClient& client,
+                                      std::uint64_t fh,
+                                      std::uint64_t file_size,
+                                      std::uint32_t request_size,
+                                      std::shared_ptr<std::uint64_t> cursor,
+                                      StopFlag* stop, Counters* counters);
+
+/// Repeatedly reads random aligned chunks of a small resident file.
+Task<void> hot_read_worker(nfs::NfsClient& client, std::uint64_t fh,
+                           std::uint64_t file_size, std::uint32_t request_size,
+                           std::uint32_t seed, StopFlag* stop,
+                           Counters* counters);
+
+struct SpecSfsConfig {
+  /// Fraction of operations that touch regular data (READ/WRITE); the
+  /// remainder are metadata ops (GETATTR/LOOKUP/READDIR). Fig 7 sweeps
+  /// this.
+  double data_op_fraction = 0.5;
+  /// Among data ops: reads / (reads + writes). Default 5:1 (§5.3).
+  double read_fraction = 5.0 / 6.0;
+  /// Request-size distribution: SPECsfs is dominated by small requests
+  /// (<16 KB); sizes drawn from {4K x8, 8K x4, 16K x2, 32K x1}.
+  std::vector<std::uint32_t> size_table = {
+      4096, 4096, 4096, 4096, 4096,  4096,  4096,  4096,
+      8192, 8192, 8192, 8192, 16384, 16384, 32768};
+  std::uint32_t seed = 1;
+};
+
+/// One SPECsfs worker: issues the op mix against a pre-built file set.
+/// `files` are (fh, size) pairs — the active set (10 % of the volume).
+Task<void> specsfs_worker(nfs::NfsClient& client,
+                          std::shared_ptr<const std::vector<
+                              std::pair<std::uint64_t, std::uint64_t>>> files,
+                          SpecSfsConfig config, std::uint32_t worker_id,
+                          StopFlag* stop, Counters* counters);
+
+}  // namespace ncache::workload

@@ -1,0 +1,79 @@
+#include "workload/web_workloads.h"
+
+namespace ncache::workload {
+
+WebFileSet build_web_fileset(fs::FsImageBuilder& image,
+                             std::uint64_t working_set_bytes,
+                             std::uint64_t mean_page_bytes,
+                             std::uint32_t seed) {
+  // SPECweb99-like size classes (weight, size-as-fraction-of-mean): many
+  // small pages, a tail of large ones; calibrated so the weighted mean is
+  // ~1.0x `mean_page_bytes`.
+  struct Class {
+    double weight;
+    double scale;
+  };
+  static const Class kClasses[] = {
+      {0.35, 0.12},  // small html
+      {0.50, 0.60},  // images
+      {0.14, 3.00},  // documents
+      {0.01, 13.0},  // downloads
+  };
+
+  WebFileSet out;
+  Pcg32 rng(seed);
+  std::uint64_t accumulated = 0;
+  std::uint32_t index = 0;
+  while (accumulated < working_set_bytes) {
+    double u = rng.uniform();
+    double scale = kClasses[3].scale;
+    for (const auto& c : kClasses) {
+      if (u < c.weight) {
+        scale = c.scale;
+        break;
+      }
+      u -= c.weight;
+    }
+    // +/-30% spread within a class.
+    double jitter = 0.7 + 0.6 * rng.uniform();
+    auto size = std::uint64_t(double(mean_page_bytes) * scale * jitter);
+    size = std::max<std::uint64_t>(size, 512);
+    size = std::min(size, working_set_bytes);  // no monster outliers
+
+    std::string name = "p" + std::to_string(index++);
+    if (image.add_file(name, size) == 0) break;  // volume full
+    out.paths.push_back("/" + name);
+    out.sizes.push_back(size);
+    accumulated += size;
+  }
+  out.total_bytes = accumulated;
+  return out;
+}
+
+Task<void> web_get_worker(http::HttpClient& client,
+                          std::shared_ptr<const WebFileSet> files,
+                          std::shared_ptr<const ZipfSampler> zipf,
+                          std::uint32_t seed, StopFlag* stop,
+                          Counters* counters) {
+  ++stop->live_workers;
+  Pcg32 rng(seed);
+  while (!stop->stopped) {
+    std::size_t rank = zipf->sample(rng);
+    const std::string& path = files->paths[rank];
+    auto r = co_await client.get(path);
+    counters->record(r.content_length, 0, r.status == 200);
+  }
+  --stop->live_workers;
+}
+
+Task<void> web_hot_worker(http::HttpClient& client, std::string path,
+                          StopFlag* stop, Counters* counters) {
+  ++stop->live_workers;
+  while (!stop->stopped) {
+    auto r = co_await client.get(path);
+    counters->record(r.content_length, 0, r.status == 200);
+  }
+  --stop->live_workers;
+}
+
+}  // namespace ncache::workload

@@ -1,0 +1,45 @@
+// SPECweb99-style web workload (§5.3): page popularity follows Zipf's law
+// (Breslau et al.), page sizes come from a class table tuned to the
+// paper's ~75 KB average, and a configurable working-set size drives the
+// Fig 6(a) sweep.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "fs/image_builder.h"
+#include "http/client.h"
+#include "workload/counters.h"
+
+namespace ncache::workload {
+
+struct WebFileSet {
+  std::vector<std::string> paths;  ///< "/pN" page names, rank order
+  std::vector<std::uint64_t> sizes;
+  std::uint64_t total_bytes = 0;
+};
+
+/// Builds the page set into the fs image: `working_set_bytes` of pages
+/// whose sizes follow a SPECweb99-like class mix with the given mean.
+/// Pages are named "p0".."pN-1" in popularity-rank order.
+WebFileSet build_web_fileset(fs::FsImageBuilder& image,
+                             std::uint64_t working_set_bytes,
+                             std::uint64_t mean_page_bytes = 75 * 1024,
+                             std::uint32_t seed = 42);
+
+/// One HTTP worker: Zipf-samples pages and GETs them until stopped.
+Task<void> web_get_worker(http::HttpClient& client,
+                          std::shared_ptr<const WebFileSet> files,
+                          std::shared_ptr<const ZipfSampler> zipf,
+                          std::uint32_t seed, StopFlag* stop,
+                          Counters* counters);
+
+/// Repeatedly fetches one small hot set (the §5.5 all-hit microbenchmark)
+/// with a fixed request (= page) size.
+Task<void> web_hot_worker(http::HttpClient& client, std::string path,
+                          StopFlag* stop, Counters* counters);
+
+}  // namespace ncache::workload

@@ -1,0 +1,356 @@
+// Tests for the iSCSI substrate: PDU codec, stream framing, and full
+// initiator <-> target exchanges over the simulated network, including the
+// three payload policies (Copy / NCache-ingest / Junk).
+#include <gtest/gtest.h>
+
+#include "blockdev/block_store.h"
+#include "iscsi/initiator.h"
+#include "iscsi/pdu.h"
+#include "iscsi/target.h"
+#include "proto/switch.h"
+
+namespace ncache::iscsi {
+namespace {
+
+using netbuf::MsgBuffer;
+using proto::make_ipv4;
+
+std::vector<std::byte> block_pattern(std::size_t blocks, int seed) {
+  std::vector<std::byte> v(blocks * blockdev::kBlockSize);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = std::byte((i * 11 + seed) & 0xff);
+  }
+  return v;
+}
+
+TEST(Pdu, BhsRoundTripCommand) {
+  Pdu p;
+  p.opcode = Opcode::ScsiCommand;
+  p.final_flag = true;
+  p.lun = 1;
+  p.itt = 0x1234;
+  p.expected_length = 8192;
+  p.cmd_sn = 7;
+  p.exp_sn = 9;
+  p.cdb = make_rw_cdb(ScsiRw{false, 12345, 16});
+
+  auto bhs = p.serialize_bhs();
+  ASSERT_EQ(bhs.size(), kBhsBytes);
+  Pdu q = Pdu::parse_bhs(bhs);
+  EXPECT_EQ(q.opcode, Opcode::ScsiCommand);
+  EXPECT_EQ(q.itt, 0x1234u);
+  EXPECT_EQ(q.expected_length, 8192u);
+  auto rw = parse_rw_cdb(q.cdb);
+  ASSERT_TRUE(rw);
+  EXPECT_FALSE(rw->is_write);
+  EXPECT_EQ(rw->lba, 12345u);
+  EXPECT_EQ(rw->blocks, 16u);
+}
+
+TEST(Pdu, BhsRoundTripDataIn) {
+  Pdu p;
+  p.opcode = Opcode::ScsiDataIn;
+  p.itt = 5;
+  p.data_sn = 3;
+  p.buffer_offset = 16384;
+  p.status = ScsiStatus::Good;
+  p.data = MsgBuffer::from_string("hello world!");  // 12 bytes
+
+  auto bhs = p.serialize_bhs();
+  Pdu q = Pdu::parse_bhs(bhs);
+  EXPECT_EQ(q.opcode, Opcode::ScsiDataIn);
+  EXPECT_EQ(q.data_sn, 3u);
+  EXPECT_EQ(q.buffer_offset, 16384u);
+  EXPECT_EQ(q.data.size(), 12u);  // placeholder carries the data length
+}
+
+TEST(Pdu, RwCdbRejectsOtherOpcodes) {
+  std::array<std::uint8_t, 16> cdb{};
+  cdb[0] = 0x12;  // INQUIRY
+  EXPECT_FALSE(parse_rw_cdb(cdb));
+}
+
+TEST(Pdu, StreamSizePadsToFour) {
+  Pdu p;
+  p.opcode = Opcode::NopOut;
+  p.data = MsgBuffer::from_string("abcde");  // 5 -> pad 3
+  EXPECT_EQ(p.stream_size(), kBhsBytes + 8);
+  EXPECT_EQ(p.to_stream().size(), kBhsBytes + 8);
+}
+
+TEST(PduParserTest, ReassemblesSplitStream) {
+  Pdu a;
+  a.opcode = Opcode::NopOut;
+  a.itt = 1;
+  a.data = MsgBuffer::from_string("payload-one");
+  Pdu b;
+  b.opcode = Opcode::NopIn;
+  b.itt = 2;
+  b.data = MsgBuffer::from_string("x");
+
+  MsgBuffer stream = a.to_stream();
+  stream.append(b.to_stream());
+
+  // Feed in pathological 7-byte chunks.
+  PduParser parser;
+  std::vector<Pdu> got;
+  auto sink = [&](Pdu p) { got.push_back(std::move(p)); };
+  for (std::size_t off = 0; off < stream.size(); off += 7) {
+    std::size_t take = std::min<std::size_t>(7, stream.size() - off);
+    parser.feed(stream.slice(off, take), sink);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].itt, 1u);
+  EXPECT_EQ(got[0].data.to_bytes(), MsgBuffer::from_string("payload-one").to_bytes());
+  EXPECT_EQ(got[1].itt, 2u);
+  EXPECT_EQ(got[1].data.size(), 1u);
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(PduParserTest, ZeroLengthDataSegment) {
+  Pdu a;
+  a.opcode = Opcode::ScsiResponse;
+  a.itt = 9;
+  PduParser parser;
+  std::vector<Pdu> got;
+  parser.feed(a.to_stream(), [&](Pdu p) { got.push_back(std::move(p)); });
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(got[0].data.empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end fixture: storage node + app node
+// ---------------------------------------------------------------------------
+
+class IscsiEndToEnd : public ::testing::Test {
+ protected:
+  static constexpr auto kStorageIp = make_ipv4(10, 0, 0, 1);
+  static constexpr auto kAppIp = make_ipv4(10, 0, 0, 2);
+
+  IscsiEndToEnd()
+      : book_(std::make_shared<proto::AddressBook>()),
+        sw_(loop_, "sw", costs_),
+        storage_cpu_(loop_, "storage.cpu"),
+        storage_copier_(storage_cpu_, costs_),
+        storage_stack_(loop_, storage_cpu_, storage_copier_, costs_, "storage",
+                       book_),
+        app_cpu_(loop_, "app.cpu"),
+        app_copier_(app_cpu_, costs_),
+        app_stack_(loop_, app_cpu_, app_copier_, costs_, "app", book_),
+        store_(loop_, costs_, "disks", 4096),
+        target_(storage_stack_, store_),
+        initiator_(app_stack_, kAppIp, kStorageIp, /*target_id=*/0) {
+    storage_stack_.add_nic(0x01, kStorageIp);
+    app_stack_.add_nic(0x02, kAppIp);
+    sw_.connect(storage_stack_.nic(0));
+    sw_.connect(app_stack_.nic(0));
+    target_.start();
+  }
+
+  void login() {
+    auto t_fn = [&]() -> Task<void> {
+      bool ok = co_await initiator_.login();
+      EXPECT_TRUE(ok);
+    };
+    sim::sync_wait(loop_, t_fn());
+  }
+
+  sim::EventLoop loop_;
+  sim::CostModel costs_{};
+  std::shared_ptr<proto::AddressBook> book_;
+  proto::EthernetSwitch sw_;
+  sim::CpuModel storage_cpu_;
+  netbuf::CopyEngine storage_copier_;
+  proto::NetworkStack storage_stack_;
+  sim::CpuModel app_cpu_;
+  netbuf::CopyEngine app_copier_;
+  proto::NetworkStack app_stack_;
+  blockdev::BlockStore store_;
+  IscsiTarget target_;
+  IscsiInitiator initiator_;
+};
+
+TEST_F(IscsiEndToEnd, LoginAndPing) {
+  login();
+  auto t_fn = [&]() -> Task<void> {
+    EXPECT_TRUE(co_await initiator_.ping());
+  };
+  sim::sync_wait(loop_, t_fn());
+  EXPECT_EQ(target_.stats().logins, 1u);
+}
+
+TEST_F(IscsiEndToEnd, ReadBlocksCopyPolicy) {
+  auto data = block_pattern(4, 3);
+  store_.poke(100, data);
+  login();
+
+  auto t_fn = [&]() -> Task<void> {
+    MsgBuffer got = co_await initiator_.read_blocks(100, 4, /*metadata=*/false);
+    EXPECT_EQ(got.size(), data.size());
+    EXPECT_TRUE(got.fully_physical());
+    EXPECT_EQ(got.to_bytes(), data);
+  };
+  sim::sync_wait(loop_, t_fn());
+
+  // Target side: 2 regular-data copies; app side: 1 (copy policy).
+  EXPECT_EQ(storage_copier_.stats().data_copy_ops, 2u);
+  EXPECT_EQ(app_copier_.stats().data_copy_ops, 1u);
+  EXPECT_EQ(target_.stats().reads, 1u);
+}
+
+TEST_F(IscsiEndToEnd, MetadataReadsAreCopiedAsMetadata) {
+  auto data = block_pattern(1, 8);
+  store_.poke(5, data);
+  login();
+  auto t_fn = [&]() -> Task<void> {
+    MsgBuffer got = co_await initiator_.read_blocks(5, 1, /*metadata=*/true);
+    EXPECT_EQ(got.to_bytes(), data);
+  };
+  sim::sync_wait(loop_, t_fn());
+  EXPECT_EQ(app_copier_.stats().meta_copy_ops, 1u);
+  EXPECT_EQ(app_copier_.stats().data_copy_ops, 0u);
+}
+
+TEST_F(IscsiEndToEnd, WriteThenReadBack) {
+  login();
+  auto data = block_pattern(2, 7);
+  auto t_fn = [&]() -> Task<void> {
+    bool ok = co_await initiator_.write_blocks(
+        200, MsgBuffer::from_bytes(data), /*metadata=*/false);
+    EXPECT_TRUE(ok);
+    MsgBuffer got = co_await initiator_.read_blocks(200, 2, false);
+    EXPECT_EQ(got.to_bytes(), data);
+  };
+  sim::sync_wait(loop_, t_fn());
+  EXPECT_EQ(target_.stats().writes, 1u);
+  EXPECT_EQ(store_.peek(200, 2), data);
+}
+
+TEST_F(IscsiEndToEnd, NCachePolicyIngestsAndReturnsKeys) {
+  auto data = block_pattern(2, 4);
+  store_.poke(50, data);
+  login();
+
+  std::vector<std::pair<std::uint64_t, std::size_t>> ingested;
+  initiator_.set_payload_policy(PayloadPolicy::NCache);
+  initiator_.set_ingest_hook([&](std::uint64_t lbn, MsgBuffer chain) {
+    ingested.emplace_back(lbn, chain.size());
+    return MsgBuffer::from_key(netbuf::LbnKey{0, lbn}, 0,
+                               std::uint32_t(chain.size()));
+  });
+
+  auto t_fn = [&]() -> Task<void> {
+    MsgBuffer got = co_await initiator_.read_blocks(50, 2, false);
+    EXPECT_EQ(got.size(), 2 * blockdev::kBlockSize);
+    EXPECT_TRUE(got.has_keys());
+    EXPECT_EQ(got.key_count(), 2u);
+  };
+  sim::sync_wait(loop_, t_fn());
+
+  ASSERT_EQ(ingested.size(), 2u);
+  EXPECT_EQ(ingested[0].first, 50u);
+  EXPECT_EQ(ingested[1].first, 51u);
+  // Zero data copies on the app server.
+  EXPECT_EQ(app_copier_.stats().data_copy_ops, 0u);
+  EXPECT_EQ(initiator_.stats().ingests, 1u);
+}
+
+TEST_F(IscsiEndToEnd, JunkPolicyMovesNothing) {
+  auto data = block_pattern(1, 2);
+  store_.poke(9, data);
+  login();
+  initiator_.set_payload_policy(PayloadPolicy::Junk);
+  auto t_fn = [&]() -> Task<void> {
+    MsgBuffer got = co_await initiator_.read_blocks(9, 1, false);
+    EXPECT_EQ(got.size(), blockdev::kBlockSize);
+    EXPECT_TRUE(got.has_junk());
+  };
+  sim::sync_wait(loop_, t_fn());
+  EXPECT_EQ(app_copier_.stats().data_copy_ops, 0u);
+}
+
+TEST_F(IscsiEndToEnd, WriteRemapHookFiresPerKeyBlock) {
+  login();
+  initiator_.set_payload_policy(PayloadPolicy::NCache);
+  std::vector<std::uint64_t> remapped;
+  initiator_.set_remap_hook(
+      [&](std::uint64_t lbn, const MsgBuffer&) { remapped.push_back(lbn); });
+
+  MsgBuffer payload;
+  payload.append(MsgBuffer::from_key(netbuf::FhoKey{7, 0}, 0,
+                                     std::uint32_t(blockdev::kBlockSize)));
+  payload.append(MsgBuffer::from_key(netbuf::FhoKey{7, 4096}, 0,
+                                     std::uint32_t(blockdev::kBlockSize)));
+  auto t_fn = [&]() -> Task<void> {
+    // Without an egress substitution filter the junk-materialized frames
+    // still complete the protocol exchange; remap must have fired.
+    (void)co_await initiator_.write_blocks(300, std::move(payload), false);
+  };
+  sim::sync_wait(loop_, t_fn());
+  EXPECT_EQ(remapped, (std::vector<std::uint64_t>{300, 301}));
+}
+
+TEST_F(IscsiEndToEnd, ConcurrentReadsInterleave) {
+  auto d1 = block_pattern(8, 1);
+  auto d2 = block_pattern(8, 2);
+  store_.poke(0, d1);
+  store_.poke(1000, d2);
+  login();
+
+  bool ok1 = false, ok2 = false;
+  auto r1_fn = [&]() -> Task<void> {
+    MsgBuffer got = co_await initiator_.read_blocks(0, 8, false);
+    ok1 = got.to_bytes() == d1;
+  };
+  auto r2_fn = [&]() -> Task<void> {
+    MsgBuffer got = co_await initiator_.read_blocks(1000, 8, false);
+    ok2 = got.to_bytes() == d2;
+  };
+  auto r1 = r1_fn();
+  auto r2 = r2_fn();
+  std::move(r1).detach();
+  std::move(r2).detach();
+  loop_.run();
+  EXPECT_TRUE(ok1);
+  EXPECT_TRUE(ok2);
+}
+
+TEST_F(IscsiEndToEnd, LargeSequentialReadSaturation) {
+  // 64 blocks in 8-block commands: exercises Data-In segmentation (8 KB
+  // PDUs over 1460 B segments) and block store integrity at volume.
+  auto data = block_pattern(64, 6);
+  store_.poke(0, data);
+  login();
+
+  std::vector<std::byte> assembled;
+  auto t_fn = [&]() -> Task<void> {
+    for (int i = 0; i < 8; ++i) {
+      MsgBuffer got = co_await initiator_.read_blocks(i * 8, 8, false);
+      auto bytes = got.to_bytes();
+      assembled.insert(assembled.end(), bytes.begin(), bytes.end());
+    }
+  };
+  sim::sync_wait(loop_, t_fn());
+  EXPECT_EQ(assembled, data);
+  EXPECT_EQ(target_.stats().read_bytes, 64u * blockdev::kBlockSize);
+}
+
+TEST(LocalBlockClientTest, DirectReadWrite) {
+  sim::EventLoop loop;
+  sim::CostModel costs;
+  sim::CpuModel cpu(loop, "cpu");
+  netbuf::CopyEngine copier(cpu, costs);
+  blockdev::BlockStore store(loop, costs, "st", 128);
+  LocalBlockClient client(store, copier);
+
+  auto data = block_pattern(2, 5);
+  auto t_fn = [&]() -> Task<void> {
+    co_await client.write_blocks(3, MsgBuffer::from_bytes(data), false);
+    MsgBuffer got = co_await client.read_blocks(3, 2, false);
+    EXPECT_EQ(got.to_bytes(), data);
+  };
+  sim::sync_wait(loop, t_fn());
+}
+
+}  // namespace
+}  // namespace ncache::iscsi

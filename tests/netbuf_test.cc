@@ -1,0 +1,264 @@
+// Unit tests for the netbuf module: sk_buff-style buffers, pinned pools,
+// cache keys, MsgBuffer segment algebra, and the copy engine's
+// accounting (which Table 2 is regenerated from).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "netbuf/cache_key.h"
+#include "netbuf/copy_engine.h"
+#include "netbuf/msg_buffer.h"
+#include "netbuf/net_buffer.h"
+
+namespace ncache::netbuf {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, int seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = std::byte((i * 31 + seed) & 0xff);
+  return v;
+}
+
+TEST(NetBuffer, PushPullPutTrim) {
+  NetBuffer b(64, 256);
+  EXPECT_EQ(b.headroom(), 64u);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.tailroom(), 256u);
+
+  auto pat = pattern(100);
+  b.append(pat);
+  EXPECT_EQ(b.size(), 100u);
+
+  std::byte* hdr = b.push(14);
+  EXPECT_EQ(b.headroom(), 50u);
+  EXPECT_EQ(b.size(), 114u);
+  std::memset(hdr, 0xee, 14);
+
+  std::byte* old = b.pull(14);
+  EXPECT_EQ(std::to_integer<int>(*old), 0xee);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(std::equal(pat.begin(), pat.end(), b.data().begin()));
+
+  b.trim(10);
+  EXPECT_EQ(b.size(), 10u);
+}
+
+TEST(NetBuffer, BoundsViolationsThrow) {
+  NetBuffer b(8, 16);
+  EXPECT_THROW(b.push(9), std::length_error);
+  EXPECT_THROW(b.pull(1), std::length_error);
+  EXPECT_THROW(b.put(17), std::length_error);
+  b.put(4);
+  EXPECT_THROW(b.trim(5), std::length_error);
+}
+
+TEST(BufferPool, BudgetEnforced) {
+  BufferPool pool("p", 3 * (4096 + 128 + BufferPool::kPerBufferOverhead));
+  auto a = pool.allocate(4096);
+  auto b = pool.allocate(4096);
+  auto c = pool.allocate(4096);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(pool.allocate(4096), nullptr);
+  EXPECT_EQ(pool.failures(), 1u);
+
+  // Releasing one makes room again.
+  a.reset();
+  EXPECT_NE(pool.allocate(4096), nullptr);
+}
+
+TEST(BufferPool, InUseTracksLifetime) {
+  BufferPool pool("p", 1 << 20);
+  EXPECT_EQ(pool.in_use(), 0u);
+  {
+    auto a = pool.allocate(1000, 100);
+    EXPECT_EQ(pool.in_use(), 1100 + BufferPool::kPerBufferOverhead);
+  }
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(BufferPool, AdoptChargesAndMoves) {
+  BufferPool pool("p", 1 << 20);
+  auto buf = make_buffer(2048, 0);
+  ASSERT_TRUE(pool.adopt(*buf));
+  EXPECT_EQ(pool.in_use(), 2048 + BufferPool::kPerBufferOverhead);
+  buf.reset();
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(BufferPool, AdoptRejectsWhenFull) {
+  BufferPool pool("p", 100);
+  auto buf = make_buffer(2048, 0);
+  EXPECT_FALSE(pool.adopt(*buf));
+  EXPECT_EQ(buf->pool(), nullptr);
+}
+
+TEST(CacheKey, EqualityAndHashing) {
+  CacheKey a = LbnKey{0, 42};
+  CacheKey b = LbnKey{0, 42};
+  CacheKey c = LbnKey{1, 42};
+  CacheKey d = FhoKey{42, 0};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);  // LBN and FHO never compare equal
+  EXPECT_EQ(CacheKeyHash{}(a), CacheKeyHash{}(b));
+  EXPECT_TRUE(is_lbn(a));
+  EXPECT_TRUE(is_fho(d));
+  EXPECT_EQ(to_string(a), "LBN(t0,42)");
+  EXPECT_EQ(to_string(d), "FHO(fh42,0)");
+}
+
+TEST(MsgBuffer, FromBytesRoundTrip) {
+  auto pat = pattern(300);
+  MsgBuffer m = MsgBuffer::from_bytes(pat);
+  EXPECT_EQ(m.size(), 300u);
+  EXPECT_TRUE(m.fully_physical());
+  EXPECT_EQ(m.to_bytes(), pat);
+}
+
+TEST(MsgBuffer, SliceSharesBuffers) {
+  auto pat = pattern(1000);
+  MsgBuffer m = MsgBuffer::from_bytes(pat);
+  MsgBuffer s = m.slice(100, 200);
+  EXPECT_EQ(s.size(), 200u);
+  auto expect = std::vector<std::byte>(pat.begin() + 100, pat.begin() + 300);
+  EXPECT_EQ(s.to_bytes(), expect);
+  // Shared, not copied: same underlying NetBuffer.
+  const auto* orig = std::get_if<ByteSeg>(&m.segments()[0]);
+  const auto* sub = std::get_if<ByteSeg>(&s.segments()[0]);
+  ASSERT_TRUE(orig && sub);
+  EXPECT_EQ(orig->buf.get(), sub->buf.get());
+}
+
+TEST(MsgBuffer, SliceAcrossSegments) {
+  MsgBuffer m;
+  m.append(MsgBuffer::from_bytes(pattern(100, 1)));
+  m.append(MsgBuffer::from_bytes(pattern(100, 2)));
+  m.append(MsgBuffer::from_bytes(pattern(100, 3)));
+  ASSERT_EQ(m.size(), 300u);
+  MsgBuffer s = m.slice(50, 200);
+  EXPECT_EQ(s.size(), 200u);
+  auto whole = m.to_bytes();
+  auto expect = std::vector<std::byte>(whole.begin() + 50, whole.begin() + 250);
+  EXPECT_EQ(s.to_bytes(), expect);
+  EXPECT_EQ(s.segments().size(), 3u);
+}
+
+TEST(MsgBuffer, SliceOutOfRangeThrows) {
+  MsgBuffer m = MsgBuffer::from_bytes(pattern(10));
+  EXPECT_THROW(m.slice(5, 6), std::out_of_range);
+  EXPECT_NO_THROW(m.slice(5, 5));
+  EXPECT_EQ(m.slice(10, 0).size(), 0u);
+}
+
+TEST(MsgBuffer, KeyAndJunkSegments) {
+  MsgBuffer m;
+  m.append(MsgBuffer::from_bytes(pattern(64)));
+  m.append(MsgBuffer::from_key(LbnKey{0, 7}, 0, 4096));
+  m.append(MsgBuffer::junk(100));
+  EXPECT_EQ(m.size(), 64u + 4096 + 100);
+  EXPECT_FALSE(m.fully_physical());
+  EXPECT_TRUE(m.has_keys());
+  EXPECT_TRUE(m.has_junk());
+  EXPECT_EQ(m.key_count(), 1u);
+  EXPECT_EQ(m.logical_bytes(), 4196u);
+
+  // Slicing a key segment re-ranges it.
+  MsgBuffer s = m.slice(64 + 1000, 2000);
+  ASSERT_EQ(s.segments().size(), 1u);
+  const auto* k = std::get_if<KeySeg>(&s.segments()[0]);
+  ASSERT_TRUE(k);
+  EXPECT_EQ(k->off, 1000u);
+  EXPECT_EQ(k->len, 2000u);
+  EXPECT_EQ(k->key, CacheKey(LbnKey{0, 7}));
+}
+
+TEST(MsgBuffer, PeekBytesPhysicalPrefix) {
+  MsgBuffer m;
+  m.append(MsgBuffer::from_bytes(pattern(32)));
+  m.append(MsgBuffer::junk(10));
+  auto head = m.peek_bytes(32);
+  EXPECT_EQ(head, pattern(32));
+  EXPECT_THROW(m.peek_bytes(33), std::logic_error);
+  EXPECT_THROW(m.peek_bytes(100), std::out_of_range);
+}
+
+TEST(MsgBuffer, AppendSplicesWithoutCopy) {
+  MsgBuffer a = MsgBuffer::from_bytes(pattern(10, 1));
+  const auto* buf_before = std::get_if<ByteSeg>(&a.segments()[0])->buf.get();
+  MsgBuffer b;
+  b.append(std::move(a));
+  EXPECT_EQ(std::get_if<ByteSeg>(&b.segments()[0])->buf.get(), buf_before);
+}
+
+class CopyEngineTest : public ::testing::Test {
+ protected:
+  sim::EventLoop loop_;
+  sim::CpuModel cpu_{loop_, "cpu"};
+  sim::CostModel costs_{};
+  CopyEngine eng_{cpu_, costs_};
+};
+
+TEST_F(CopyEngineTest, PhysicalCopyCountsAndCharges) {
+  auto pat = pattern(4096);
+  MsgBuffer src = MsgBuffer::from_bytes(pat);
+  MsgBuffer dst = eng_.copy_message(src, CopyClass::RegularData);
+  EXPECT_EQ(dst.to_bytes(), pat);
+  EXPECT_EQ(eng_.stats().data_copy_ops, 1u);
+  EXPECT_EQ(eng_.stats().data_copy_bytes, 4096u);
+  EXPECT_EQ(eng_.stats().meta_copy_ops, 0u);
+  EXPECT_EQ(cpu_.busy_ns(), costs_.copy_cost(4096));
+}
+
+TEST_F(CopyEngineTest, MetadataClassSeparated) {
+  auto pat = pattern(128);
+  eng_.copy_bytes_in(pat, CopyClass::Metadata);
+  EXPECT_EQ(eng_.stats().meta_copy_ops, 1u);
+  EXPECT_EQ(eng_.stats().data_copy_ops, 0u);
+}
+
+TEST_F(CopyEngineTest, LogicalCopySharesAndIsCheap) {
+  MsgBuffer src;
+  src.append(MsgBuffer::from_key(FhoKey{9, 4096}, 0, 4096));
+  src.append(MsgBuffer::from_key(FhoKey{9, 8192}, 0, 4096));
+  MsgBuffer dst = eng_.logical_copy(src);
+  EXPECT_EQ(dst.size(), 8192u);
+  EXPECT_EQ(dst.key_count(), 2u);
+  EXPECT_EQ(eng_.stats().logical_copy_ops, 1u);
+  EXPECT_EQ(eng_.stats().logical_copy_keys, 2u);
+  EXPECT_EQ(eng_.stats().data_copy_ops, 0u);
+  // Orders of magnitude cheaper than a physical copy of the same bytes.
+  EXPECT_LT(cpu_.busy_ns(), costs_.copy_cost(8192) / 50);
+}
+
+TEST_F(CopyEngineTest, CopyBytesOutGathers) {
+  MsgBuffer m;
+  m.append(MsgBuffer::from_bytes(pattern(100, 1)));
+  m.append(MsgBuffer::from_bytes(pattern(100, 2)));
+  std::vector<std::byte> out(200);
+  eng_.copy_bytes_out(m, out, CopyClass::RegularData);
+  EXPECT_EQ(out, m.to_bytes());
+  EXPECT_EQ(eng_.stats().data_copy_ops, 1u);
+}
+
+TEST_F(CopyEngineTest, CopyRawValidatesSize) {
+  auto src = pattern(64);
+  std::vector<std::byte> dst(32);
+  EXPECT_THROW(eng_.copy_raw(src, dst, CopyClass::RegularData),
+               std::length_error);
+}
+
+TEST_F(CopyEngineTest, ChecksumCharging) {
+  eng_.charge_checksum(1000);
+  EXPECT_EQ(eng_.stats().checksum_ops, 1u);
+  EXPECT_EQ(eng_.stats().checksum_bytes, 1000u);
+  EXPECT_EQ(cpu_.busy_ns(), costs_.checksum_cost(1000));
+}
+
+TEST_F(CopyEngineTest, ResetStats) {
+  eng_.copy_bytes_in(pattern(10), CopyClass::RegularData);
+  eng_.reset_stats();
+  EXPECT_EQ(eng_.stats().data_copy_ops, 0u);
+}
+
+}  // namespace
+}  // namespace ncache::netbuf

@@ -1,0 +1,322 @@
+// Property-based suites (parameterized sweeps) over the library's core
+// invariants:
+//   * MsgBuffer slice/append algebra equals byte-string algebra;
+//   * IP fragmentation/reassembly is the identity for every size and
+//     arrival order;
+//   * TCP delivers the exact byte stream for every (size, loss-rate)
+//     combination;
+//   * the network-centric cache honours freshness/forwarding/budget
+//     invariants under randomized op sequences;
+//   * incremental checksums equal one-shot checksums for random splits.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/checksum.h"
+#include "common/rng.h"
+#include "core/net_centric_cache.h"
+#include "netbuf/msg_buffer.h"
+#include "proto/stack.h"
+#include "proto/switch.h"
+
+namespace ncache {
+namespace {
+
+using netbuf::MsgBuffer;
+
+std::vector<std::byte> rand_bytes(Pcg32& rng, std::size_t n) {
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = std::byte(rng.next() & 0xff);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// MsgBuffer algebra
+// ---------------------------------------------------------------------------
+
+class MsgBufferAlgebra : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MsgBufferAlgebra, RandomCompositionMatchesByteString) {
+  Pcg32 rng(GetParam());
+  // Build a message from random-size physical pieces; keep a golden copy.
+  std::vector<std::byte> golden;
+  MsgBuffer msg;
+  int pieces = 1 + int(rng.below(12));
+  for (int i = 0; i < pieces; ++i) {
+    auto piece = rand_bytes(rng, 1 + rng.below(4000));
+    golden.insert(golden.end(), piece.begin(), piece.end());
+    msg.append(MsgBuffer::from_bytes(piece));
+  }
+  ASSERT_EQ(msg.size(), golden.size());
+  EXPECT_EQ(msg.to_bytes(), golden);
+
+  // Random slices agree with substring.
+  for (int trial = 0; trial < 50; ++trial) {
+    std::size_t off = rng.below(std::uint32_t(golden.size()));
+    std::size_t len = rng.below(std::uint32_t(golden.size() - off + 1));
+    MsgBuffer s = msg.slice(off, len);
+    std::vector<std::byte> expect(golden.begin() + long(off),
+                                  golden.begin() + long(off + len));
+    EXPECT_EQ(s.to_bytes(), expect);
+  }
+
+  // Slice-of-slice composes like nested substrings.
+  std::size_t a = rng.below(std::uint32_t(golden.size() / 2 + 1));
+  std::size_t alen = golden.size() - a;
+  MsgBuffer outer = msg.slice(a, alen);
+  std::size_t b = rng.below(std::uint32_t(alen + 1));
+  std::size_t blen = alen - b;
+  EXPECT_EQ(outer.slice(b, blen).to_bytes(),
+            msg.slice(a + b, blen).to_bytes());
+
+  // Splitting at every boundary and re-appending is the identity.
+  std::size_t cut = rng.below(std::uint32_t(golden.size() + 1));
+  MsgBuffer left = msg.slice(0, cut);
+  MsgBuffer right = msg.slice(cut, golden.size() - cut);
+  MsgBuffer joined;
+  joined.append(std::move(left));
+  joined.append(std::move(right));
+  EXPECT_EQ(joined.to_bytes(), golden);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsgBufferAlgebra,
+                         ::testing::Range(1u, 13u));
+
+// ---------------------------------------------------------------------------
+// UDP datagram sizes: fragmentation identity end-to-end
+// ---------------------------------------------------------------------------
+
+struct TwoHosts {
+  TwoHosts()
+      : book(std::make_shared<proto::AddressBook>()),
+        sw(loop, "sw", costs),
+        a_cpu(loop, "a"),
+        a_cp(a_cpu, costs),
+        a(loop, a_cpu, a_cp, costs, "A", book),
+        b_cpu(loop, "b"),
+        b_cp(b_cpu, costs),
+        b(loop, b_cpu, b_cp, costs, "B", book) {
+    a.add_nic(0xa, proto::make_ipv4(10, 0, 0, 1));
+    b.add_nic(0xb, proto::make_ipv4(10, 0, 0, 2));
+    sw.connect(a.nic(0));
+    sw.connect(b.nic(0));
+  }
+  sim::EventLoop loop;
+  sim::CostModel costs;
+  std::shared_ptr<proto::AddressBook> book;
+  proto::EthernetSwitch sw;
+  sim::CpuModel a_cpu;
+  netbuf::CopyEngine a_cp;
+  proto::NetworkStack a;
+  sim::CpuModel b_cpu;
+  netbuf::CopyEngine b_cp;
+  proto::NetworkStack b;
+};
+
+class UdpSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(UdpSizes, FragmentationIsIdentity) {
+  TwoHosts h;
+  Pcg32 rng(GetParam() * 31 + 7);
+  auto payload = rand_bytes(rng, GetParam());
+
+  std::vector<std::byte> got;
+  bool received = false;
+  h.b.udp_bind(9, [&](proto::Ipv4Addr, std::uint16_t, proto::Ipv4Addr,
+                      std::uint16_t, MsgBuffer m) {
+    got = m.to_bytes();
+    received = true;
+  });
+  h.a.udp_send(proto::make_ipv4(10, 0, 0, 1), 8, proto::make_ipv4(10, 0, 0, 2),
+               9, MsgBuffer::from_bytes(payload));
+  h.loop.run();
+  ASSERT_TRUE(received);
+  EXPECT_EQ(got, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, UdpSizes,
+    ::testing::Values(1u, 100u, 1471u, 1472u, 1473u, 1480u, 2944u, 2953u,
+                      4096u, 8192u, 16384u, 32768u, 60000u),
+    [](const auto& info) { return "b" + std::to_string(info.param); });
+
+// ---------------------------------------------------------------------------
+// TCP: byte-stream identity under loss
+// ---------------------------------------------------------------------------
+
+class TcpLossSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, int>> {};
+
+TEST_P(TcpLossSweep, StreamSurvives) {
+  auto [size, drop_mod] = GetParam();
+  TwoHosts h;
+  if (drop_mod > 0) {
+    int counter = 0;
+    // Drop every drop_mod-th frame in both directions.
+    h.a.nic(0).set_egress_filter(
+        [counter, drop_mod](proto::Frame&) mutable {
+          return ++counter % drop_mod != 0;
+        });
+    h.b.nic(0).set_egress_filter(
+        [counter, drop_mod](proto::Frame&) mutable {
+          return ++counter % (drop_mod + 3) != 0;
+        });
+  }
+
+  Pcg32 rng(size);
+  auto payload = rand_bytes(rng, size);
+  std::vector<std::byte> got;
+  h.b.tcp_listen(80, [&](proto::TcpConnectionPtr conn) {
+    conn->set_data_handler([&](MsgBuffer m) {
+      auto bytes = m.to_bytes();
+      got.insert(got.end(), bytes.begin(), bytes.end());
+    });
+  });
+
+  auto driver_fn = [&]() -> Task<void> {
+    auto conn = co_await h.a.tcp_connect(proto::make_ipv4(10, 0, 0, 1),
+                                         proto::make_ipv4(10, 0, 0, 2), 80);
+    // Send in random-size chunks to exercise segmentation boundaries.
+    std::size_t off = 0;
+    Pcg32 crng(size + 1);
+    while (off < payload.size()) {
+      std::size_t take = std::min<std::size_t>(1 + crng.below(20000),
+                                               payload.size() - off);
+      conn->send(MsgBuffer::from_bytes(
+          {payload.data() + off, take}));
+      off += take;
+    }
+  }();
+  std::move(driver_fn).detach();
+  h.loop.run_until(60 * sim::kSecond);
+  EXPECT_EQ(got, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeLoss, TcpLossSweep,
+    ::testing::Values(std::pair{1000u, 0}, std::pair{65536u, 0},
+                      std::pair{300000u, 0}, std::pair{65536u, 23},
+                      std::pair{300000u, 17}, std::pair{300000u, 41},
+                      std::pair{100000u, 7}),
+    [](const auto& info) {
+      return "b" + std::to_string(info.param.first) + "_drop" +
+             std::to_string(info.param.second);
+    });
+
+// ---------------------------------------------------------------------------
+// NetCentricCache randomized invariants
+// ---------------------------------------------------------------------------
+
+class CacheInvariants : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CacheInvariants, RandomOpsPreserveInvariants) {
+  sim::EventLoop loop;
+  sim::CostModel costs;
+  sim::CpuModel cpu(loop, "cpu");
+  core::NetCentricCache cache(cpu, costs, {40 * 5200, 4096});
+
+  Pcg32 rng(GetParam());
+  // Model of truth: latest content per FHO key and per LBN key. After a
+  // remap the FHO key *aliases* the LBN entry (in the real system the
+  // flush wrote the same bytes to storage, so any later re-read of that
+  // LBN carries identical content).
+  std::unordered_map<std::uint64_t, int> fho_version;
+  std::unordered_map<std::uint64_t, int> lbn_version;
+  std::unordered_set<std::uint64_t> aliased;  // fho k forwards to lbn k
+  int version = 0;
+
+  auto chain_v = [&](int v) {
+    auto buf = netbuf::make_buffer(4096);
+    auto span = buf->put(4096);
+    for (std::size_t i = 0; i < 4096; ++i) {
+      span[i] = std::byte((i * 7 + std::size_t(v)) & 0xff);
+    }
+    MsgBuffer m;
+    m.append(netbuf::ByteSeg{std::move(buf), 0, 4096});
+    return m;
+  };
+  auto version_of = [&](const MsgBuffer& m) {
+    auto bytes = m.to_bytes();
+    return int(std::to_integer<unsigned>(bytes[0]));  // i=0 -> v & 0xff
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    std::uint32_t op = rng.below(10);
+    std::uint64_t k = rng.below(30);
+    if (op < 3) {
+      ++version;
+      if (cache.insert_lbn(netbuf::LbnKey{0, k}, chain_v(version))) {
+        lbn_version[k] = version;
+        if (aliased.contains(k)) fho_version[k] = version;
+      }
+    } else if (op < 6) {
+      ++version;
+      if (cache.insert_fho(netbuf::FhoKey{1, k * 4096}, chain_v(version))) {
+        fho_version[k] = version;
+        aliased.erase(k);  // fresh dirty data shadows any forwarding
+      }
+    } else if (op < 8) {
+      // Remap a random dirty FHO entry to an LBN.
+      if (cache.remap(netbuf::FhoKey{1, k * 4096}, netbuf::LbnKey{0, k})) {
+        auto it = fho_version.find(k);
+        ASSERT_NE(it, fho_version.end());
+        lbn_version[k] = it->second;  // newest data lands in the LBN index
+        aliased.insert(k);  // FHO key now forwards to the LBN entry
+      }
+    } else {
+      // Lookup both kinds; when present, content must be the newest
+      // version recorded for that key (FHO freshness rule).
+      auto by_fho = cache.lookup(netbuf::CacheKey(netbuf::FhoKey{1, k * 4096}));
+      if (by_fho && fho_version.contains(k)) {
+        EXPECT_EQ(version_of(*by_fho) , fho_version[k] & 0xff);
+      }
+      auto by_lbn = cache.lookup(netbuf::CacheKey(netbuf::LbnKey{0, k}));
+      if (by_lbn && lbn_version.contains(k)) {
+        EXPECT_EQ(version_of(*by_lbn), lbn_version[k] & 0xff);
+      }
+    }
+    // Budget invariant: pinned bytes never exceed the pool budget.
+    EXPECT_LE(cache.pinned_bytes(), cache.budget_bytes());
+  }
+  // Dirty FHO chunks are never silently dropped by eviction: every key
+  // whose newest insert succeeded and was not remapped (aliased entries
+  // are clean and may be evicted like any LBN chunk) still resolves.
+  for (const auto& [k, v] : fho_version) {
+    if (aliased.contains(k)) continue;
+    auto found = cache.lookup(netbuf::CacheKey(netbuf::FhoKey{1, k * 4096}));
+    ASSERT_TRUE(found) << "dirty FHO chunk lost for key " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheInvariants, ::testing::Range(100u, 112u));
+
+// ---------------------------------------------------------------------------
+// Checksum: incremental == one-shot for random even splits
+// ---------------------------------------------------------------------------
+
+class ChecksumSplits : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ChecksumSplits, AccumulateEqualsOneShot) {
+  Pcg32 rng(GetParam());
+  auto data = rand_bytes(rng, 200 + rng.below(5000));
+  std::uint16_t whole = internet_checksum(data);
+
+  // Split into random *even-length* pieces (the ones-complement sum is
+  // only split-invariant on 16-bit boundaries, which is how the stack
+  // feeds it).
+  std::uint32_t acc = 0;
+  std::size_t pos = 0;
+  std::span<const std::byte> s(data);
+  while (pos < data.size()) {
+    std::size_t take = std::min<std::size_t>((1 + rng.below(300)) * 2,
+                                             data.size() - pos);
+    acc = checksum_accumulate(s.subspan(pos, take), acc);
+    pos += take;
+  }
+  EXPECT_EQ(checksum_finish(acc), whole);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChecksumSplits, ::testing::Range(20u, 32u));
+
+}  // namespace
+}  // namespace ncache

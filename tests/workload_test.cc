@@ -1,0 +1,212 @@
+// Tests for the workload generators: trace round-trip + replay semantics,
+// web file-set construction (sizes, Zipf skew), SPECsfs mix behaviour, and
+// the measurement driver.
+#include <gtest/gtest.h>
+
+#include "http/khttpd.h"
+#include "testbed/testbed.h"
+#include "workload/nfs_workloads.h"
+#include "workload/trace.h"
+#include "workload/web_workloads.h"
+
+namespace ncache::workload {
+namespace {
+
+using core::PassMode;
+using testbed::Testbed;
+using testbed::TestbedConfig;
+
+TEST(Trace, FormatParseRoundTrip) {
+  std::vector<TraceOp> ops = {
+      {0, TraceOpType::Read, 5, 0, 32768, ""},
+      {1000 * sim::kMicrosecond, TraceOpType::Write, 5, 32768, 4096, ""},
+      {2000 * sim::kMicrosecond, TraceOpType::Getattr, 5, 0, 0, ""},
+      {2500 * sim::kMicrosecond, TraceOpType::Lookup, 0, 0, 0, "file.txt"},
+  };
+  std::string text = TracePlayer::format(ops);
+  auto parsed = TracePlayer::parse(text);
+  EXPECT_EQ(parsed, ops);
+}
+
+TEST(Trace, ParseSkipsCommentsRejectsGarbage) {
+  auto ops = TracePlayer::parse("# comment\n\n10 read 1 0 4096\n");
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].at, 10 * sim::kMicrosecond);
+  EXPECT_THROW(TracePlayer::parse("10 chmod 1\n"), std::invalid_argument);
+  EXPECT_THROW(TracePlayer::parse("nonsense\n"), std::invalid_argument);
+}
+
+TEST(Trace, SynthSequentialCoversFile) {
+  auto ops = TracePlayer::synth_sequential_read(7, 100'000, 32768,
+                                                sim::kMillisecond);
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_EQ(ops[3].len, 100'000u - 3 * 32768);
+  std::uint64_t total = 0;
+  for (auto& op : ops) total += op.len;
+  EXPECT_EQ(total, 100'000u);
+  EXPECT_EQ(ops[2].at, 2 * sim::kMillisecond);
+}
+
+TEST(Trace, ClosedLoopReplayAgainstServer) {
+  TestbedConfig cfg;
+  cfg.mode = PassMode::Original;
+  Testbed tb(cfg);
+  auto ino = tb.image().add_file("t.bin", 256 * 1024);
+  tb.start_nfs();
+
+  auto ops = TracePlayer::synth_sequential_read(ino, 256 * 1024, 32768,
+                                                100 * sim::kMicrosecond);
+  TracePlayer player(tb.loop(), tb.nfs_client(0), ops);
+  Counters counters;
+  auto t_fn = [&]() -> Task<void> { co_await player.play_closed(&counters); };
+  sim::sync_wait(tb.loop(), t_fn());
+  EXPECT_EQ(counters.ops, 8u);
+  EXPECT_EQ(counters.bytes, 256u * 1024);
+  EXPECT_EQ(counters.errors, 0u);
+  EXPECT_GT(counters.latency.mean_ns(), 0.0);
+}
+
+TEST(Trace, OpenLoopReplayCompletesAllOps) {
+  TestbedConfig cfg;
+  cfg.mode = PassMode::NCache;
+  Testbed tb(cfg);
+  auto ino = tb.image().add_file("t.bin", 512 * 1024);
+  tb.start_nfs();
+
+  auto ops = TracePlayer::synth_sequential_read(ino, 512 * 1024, 16384,
+                                                50 * sim::kMicrosecond);
+  TracePlayer player(tb.loop(), tb.nfs_client(0), ops);
+  Counters counters;
+  auto t_fn = [&]() -> Task<void> {
+    co_await player.play_open(&counters, /*speedup=*/2.0);
+  };
+  sim::sync_wait(tb.loop(), t_fn());
+  EXPECT_EQ(counters.ops, 32u);
+  EXPECT_EQ(counters.bytes, 512u * 1024);
+}
+
+TEST(WebFileSet, RespectsWorkingSetAndMean) {
+  sim::EventLoop loop;
+  sim::CostModel costs;
+  blockdev::BlockStore store(loop, costs, "st", 64 * 1024);
+  fs::FsImageBuilder image(store, 64 * 1024, 8192);
+  WebFileSet set = build_web_fileset(image, 20 << 20, 75 * 1024, 1);
+
+  EXPECT_GE(set.total_bytes, 20u << 20);
+  EXPECT_EQ(set.paths.size(), set.sizes.size());
+  double mean = double(set.total_bytes) / double(set.paths.size());
+  // Mean within 2x either way of the target (the class mix is coarse).
+  EXPECT_GT(mean, 75 * 1024 / 2.0);
+  EXPECT_LT(mean, 75 * 1024 * 2.0);
+}
+
+TEST(WebFileSet, DeterministicPerSeed) {
+  sim::EventLoop loop;
+  sim::CostModel costs;
+  blockdev::BlockStore s1(loop, costs, "a", 32 * 1024);
+  blockdev::BlockStore s2(loop, costs, "b", 32 * 1024);
+  fs::FsImageBuilder i1(s1, 32 * 1024, 4096);
+  fs::FsImageBuilder i2(s2, 32 * 1024, 4096);
+  WebFileSet a = build_web_fileset(i1, 5 << 20, 75 * 1024, 9);
+  WebFileSet b = build_web_fileset(i2, 5 << 20, 75 * 1024, 9);
+  EXPECT_EQ(a.sizes, b.sizes);
+}
+
+TEST(Workers, HotReadWorkerAccumulates) {
+  TestbedConfig cfg;
+  cfg.mode = PassMode::NCache;
+  Testbed tb(cfg);
+  auto ino = tb.image().add_file("hot.bin", 5 << 20);  // the 5 MB hot set
+  tb.start_nfs();
+
+  // Warm the caches with one sequential pass (the all-hit workload is
+  // measured against a resident file).
+  auto warm_fn = [&]() -> Task<void> {
+    for (std::uint64_t off = 0; off < (5u << 20); off += 32768) {
+      (void)co_await tb.nfs_client(0).read(ino, off, 32768);
+    }
+  };
+  sim::sync_wait(tb.loop(), warm_fn());
+
+  StopFlag stop;
+  Counters counters;
+  hot_read_worker(tb.nfs_client(0), ino, 5 << 20, 32768, 1, &stop, &counters)
+      .detach();
+  hot_read_worker(tb.nfs_client(1), ino, 5 << 20, 32768, 2, &stop, &counters)
+      .detach();
+  run_measurement(tb.loop(), stop, 200 * sim::kMillisecond);
+
+  EXPECT_EQ(stop.live_workers, 0);
+  EXPECT_GT(counters.ops, 100u);
+  EXPECT_EQ(counters.errors, 0u);
+}
+
+TEST(Workers, SequentialReaderWrapsAround) {
+  TestbedConfig cfg;
+  cfg.mode = PassMode::Original;
+  cfg.fs_cache_blocks = 64;
+  Testbed tb(cfg);
+  auto ino = tb.image().add_file("seq.bin", 1 << 20);
+  tb.start_nfs();
+
+  StopFlag stop;
+  Counters counters;
+  sequential_read_worker(tb.nfs_client(0), ino, 1 << 20, 32768, 0, &stop,
+                         &counters)
+      .detach();
+  run_measurement(tb.loop(), stop, 300 * sim::kMillisecond);
+  // 1 MB / 32 KB = 32 requests per pass; at GbE speeds several passes fit.
+  EXPECT_GT(counters.ops, 32u);
+  EXPECT_EQ(counters.errors, 0u);
+}
+
+TEST(Workers, SpecSfsMixProducesBothKinds) {
+  TestbedConfig cfg;
+  cfg.mode = PassMode::NCache;
+  Testbed tb(cfg);
+  auto files = std::make_shared<
+      std::vector<std::pair<std::uint64_t, std::uint64_t>>>();
+  for (int i = 0; i < 20; ++i) {
+    std::uint64_t size = 64 * 1024;
+    auto ino = tb.image().add_file("sfs" + std::to_string(i), size);
+    files->push_back({ino, size});
+  }
+  tb.start_nfs();
+
+  StopFlag stop;
+  Counters counters;
+  SpecSfsConfig sc;
+  sc.data_op_fraction = 0.5;
+  specsfs_worker(tb.nfs_client(0), files, sc, 0, &stop, &counters).detach();
+  specsfs_worker(tb.nfs_client(1), files, sc, 1, &stop, &counters).detach();
+  run_measurement(tb.loop(), stop, 300 * sim::kMillisecond);
+
+  EXPECT_GT(counters.ops, 50u);
+  EXPECT_EQ(counters.errors, 0u);
+  // Server saw reads, writes AND metadata ops.
+  EXPECT_GT(tb.nfs_server().stats().reads, 0u);
+  EXPECT_GT(tb.nfs_server().stats().writes, 0u);
+  EXPECT_GT(tb.nfs_server().stats().metadata_ops, 0u);
+}
+
+TEST(Driver, RunMeasurementStopsWorkers) {
+  sim::EventLoop loop;
+  StopFlag stop;
+  int iterations = 0;
+  auto worker_fn = [](sim::EventLoop& l, StopFlag* s, int* iters) -> Task<void> {
+    ++s->live_workers;
+    while (!s->stopped) {
+      co_await sim::sleep_for(l, sim::kMillisecond);
+      ++*iters;
+    }
+    --s->live_workers;
+  };
+  worker_fn(loop, &stop, &iterations).detach();
+  auto window = run_measurement(loop, stop, 100 * sim::kMillisecond);
+  EXPECT_EQ(window, 100 * sim::kMillisecond);
+  EXPECT_EQ(stop.live_workers, 0);
+  EXPECT_NEAR(iterations, 100, 2);
+}
+
+}  // namespace
+}  // namespace ncache::workload
