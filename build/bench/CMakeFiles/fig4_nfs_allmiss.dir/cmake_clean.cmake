@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_nfs_allmiss.dir/fig4_nfs_allmiss.cc.o"
+  "CMakeFiles/fig4_nfs_allmiss.dir/fig4_nfs_allmiss.cc.o.d"
+  "fig4_nfs_allmiss"
+  "fig4_nfs_allmiss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_nfs_allmiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

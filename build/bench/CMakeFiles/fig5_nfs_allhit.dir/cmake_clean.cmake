@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_nfs_allhit.dir/fig5_nfs_allhit.cc.o"
+  "CMakeFiles/fig5_nfs_allhit.dir/fig5_nfs_allhit.cc.o.d"
+  "fig5_nfs_allhit"
+  "fig5_nfs_allhit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_nfs_allhit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

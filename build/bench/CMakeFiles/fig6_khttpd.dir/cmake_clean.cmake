@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_khttpd.dir/fig6_khttpd.cc.o"
+  "CMakeFiles/fig6_khttpd.dir/fig6_khttpd.cc.o.d"
+  "fig6_khttpd"
+  "fig6_khttpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_khttpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

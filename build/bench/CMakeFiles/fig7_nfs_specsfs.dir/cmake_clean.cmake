@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_nfs_specsfs.dir/fig7_nfs_specsfs.cc.o"
+  "CMakeFiles/fig7_nfs_specsfs.dir/fig7_nfs_specsfs.cc.o.d"
+  "fig7_nfs_specsfs"
+  "fig7_nfs_specsfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_nfs_specsfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

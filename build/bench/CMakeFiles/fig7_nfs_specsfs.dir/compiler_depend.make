@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_nfs_specsfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libncache_bench_util.a"
+  "../lib/libncache_bench_util.pdb"
+  "CMakeFiles/ncache_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/ncache_bench_util.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncache_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

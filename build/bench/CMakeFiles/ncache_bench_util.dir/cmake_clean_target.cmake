@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libncache_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_modifications.dir/table1_modifications.cc.o"
+  "CMakeFiles/table1_modifications.dir/table1_modifications.cc.o.d"
+  "table1_modifications"
+  "table1_modifications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_modifications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

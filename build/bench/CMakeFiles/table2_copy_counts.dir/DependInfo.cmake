@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_copy_counts.cc" "bench/CMakeFiles/table2_copy_counts.dir/table2_copy_counts.cc.o" "gcc" "bench/CMakeFiles/table2_copy_counts.dir/table2_copy_counts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ncache_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/ncache_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/ncache_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ncache_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/ncache_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ncache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/ncache_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/iscsi/CMakeFiles/ncache_iscsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/ncache_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ncache_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbuf/CMakeFiles/ncache_netbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ncache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ncache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_copy_counts.dir/table2_copy_counts.cc.o"
+  "CMakeFiles/table2_copy_counts.dir/table2_copy_counts.cc.o.d"
+  "table2_copy_counts"
+  "table2_copy_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_copy_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

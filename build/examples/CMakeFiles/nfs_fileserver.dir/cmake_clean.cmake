@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfs_fileserver.dir/nfs_fileserver.cpp.o"
+  "CMakeFiles/nfs_fileserver.dir/nfs_fileserver.cpp.o.d"
+  "nfs_fileserver"
+  "nfs_fileserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfs_fileserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_streaming.dir/vod_streaming.cpp.o"
+  "CMakeFiles/vod_streaming.dir/vod_streaming.cpp.o.d"
+  "vod_streaming"
+  "vod_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

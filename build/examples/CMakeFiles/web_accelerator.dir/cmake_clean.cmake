@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_accelerator.dir/web_accelerator.cpp.o"
+  "CMakeFiles/web_accelerator.dir/web_accelerator.cpp.o.d"
+  "web_accelerator"
+  "web_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

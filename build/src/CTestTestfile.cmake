@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("netbuf")
+subdirs("proto")
+subdirs("sock")
+subdirs("blockdev")
+subdirs("iscsi")
+subdirs("fs")
+subdirs("core")
+subdirs("nfs")
+subdirs("http")
+subdirs("workload")
+subdirs("testbed")

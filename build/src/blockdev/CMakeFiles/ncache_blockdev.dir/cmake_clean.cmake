@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncache_blockdev.dir/block_store.cc.o"
+  "CMakeFiles/ncache_blockdev.dir/block_store.cc.o.d"
+  "libncache_blockdev.a"
+  "libncache_blockdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncache_blockdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

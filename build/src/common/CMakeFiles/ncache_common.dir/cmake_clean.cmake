@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncache_common.dir/bytes.cc.o"
+  "CMakeFiles/ncache_common.dir/bytes.cc.o.d"
+  "CMakeFiles/ncache_common.dir/checksum.cc.o"
+  "CMakeFiles/ncache_common.dir/checksum.cc.o.d"
+  "CMakeFiles/ncache_common.dir/logging.cc.o"
+  "CMakeFiles/ncache_common.dir/logging.cc.o.d"
+  "CMakeFiles/ncache_common.dir/stats.cc.o"
+  "CMakeFiles/ncache_common.dir/stats.cc.o.d"
+  "CMakeFiles/ncache_common.dir/zipf.cc.o"
+  "CMakeFiles/ncache_common.dir/zipf.cc.o.d"
+  "libncache_common.a"
+  "libncache_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncache_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncache_core.dir/ncache_module.cc.o"
+  "CMakeFiles/ncache_core.dir/ncache_module.cc.o.d"
+  "CMakeFiles/ncache_core.dir/net_centric_cache.cc.o"
+  "CMakeFiles/ncache_core.dir/net_centric_cache.cc.o.d"
+  "libncache_core.a"
+  "libncache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/buffer_cache.cc" "src/fs/CMakeFiles/ncache_fs.dir/buffer_cache.cc.o" "gcc" "src/fs/CMakeFiles/ncache_fs.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/fs/image_builder.cc" "src/fs/CMakeFiles/ncache_fs.dir/image_builder.cc.o" "gcc" "src/fs/CMakeFiles/ncache_fs.dir/image_builder.cc.o.d"
+  "/root/repo/src/fs/layout.cc" "src/fs/CMakeFiles/ncache_fs.dir/layout.cc.o" "gcc" "src/fs/CMakeFiles/ncache_fs.dir/layout.cc.o.d"
+  "/root/repo/src/fs/simple_fs.cc" "src/fs/CMakeFiles/ncache_fs.dir/simple_fs.cc.o" "gcc" "src/fs/CMakeFiles/ncache_fs.dir/simple_fs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iscsi/CMakeFiles/ncache_iscsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/ncache_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ncache_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbuf/CMakeFiles/ncache_netbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ncache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ncache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

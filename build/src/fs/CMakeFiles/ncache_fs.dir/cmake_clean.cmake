@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncache_fs.dir/buffer_cache.cc.o"
+  "CMakeFiles/ncache_fs.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/ncache_fs.dir/image_builder.cc.o"
+  "CMakeFiles/ncache_fs.dir/image_builder.cc.o.d"
+  "CMakeFiles/ncache_fs.dir/layout.cc.o"
+  "CMakeFiles/ncache_fs.dir/layout.cc.o.d"
+  "CMakeFiles/ncache_fs.dir/simple_fs.cc.o"
+  "CMakeFiles/ncache_fs.dir/simple_fs.cc.o.d"
+  "libncache_fs.a"
+  "libncache_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncache_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

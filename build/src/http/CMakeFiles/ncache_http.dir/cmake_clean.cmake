@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncache_http.dir/client.cc.o"
+  "CMakeFiles/ncache_http.dir/client.cc.o.d"
+  "CMakeFiles/ncache_http.dir/khttpd.cc.o"
+  "CMakeFiles/ncache_http.dir/khttpd.cc.o.d"
+  "libncache_http.a"
+  "libncache_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncache_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncache_iscsi.dir/initiator.cc.o"
+  "CMakeFiles/ncache_iscsi.dir/initiator.cc.o.d"
+  "CMakeFiles/ncache_iscsi.dir/pdu.cc.o"
+  "CMakeFiles/ncache_iscsi.dir/pdu.cc.o.d"
+  "CMakeFiles/ncache_iscsi.dir/target.cc.o"
+  "CMakeFiles/ncache_iscsi.dir/target.cc.o.d"
+  "libncache_iscsi.a"
+  "libncache_iscsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncache_iscsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netbuf/copy_engine.cc" "src/netbuf/CMakeFiles/ncache_netbuf.dir/copy_engine.cc.o" "gcc" "src/netbuf/CMakeFiles/ncache_netbuf.dir/copy_engine.cc.o.d"
+  "/root/repo/src/netbuf/msg_buffer.cc" "src/netbuf/CMakeFiles/ncache_netbuf.dir/msg_buffer.cc.o" "gcc" "src/netbuf/CMakeFiles/ncache_netbuf.dir/msg_buffer.cc.o.d"
+  "/root/repo/src/netbuf/net_buffer.cc" "src/netbuf/CMakeFiles/ncache_netbuf.dir/net_buffer.cc.o" "gcc" "src/netbuf/CMakeFiles/ncache_netbuf.dir/net_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ncache_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ncache_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

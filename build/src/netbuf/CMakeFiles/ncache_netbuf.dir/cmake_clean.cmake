@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncache_netbuf.dir/copy_engine.cc.o"
+  "CMakeFiles/ncache_netbuf.dir/copy_engine.cc.o.d"
+  "CMakeFiles/ncache_netbuf.dir/msg_buffer.cc.o"
+  "CMakeFiles/ncache_netbuf.dir/msg_buffer.cc.o.d"
+  "CMakeFiles/ncache_netbuf.dir/net_buffer.cc.o"
+  "CMakeFiles/ncache_netbuf.dir/net_buffer.cc.o.d"
+  "libncache_netbuf.a"
+  "libncache_netbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncache_netbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

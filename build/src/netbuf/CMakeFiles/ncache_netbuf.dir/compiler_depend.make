@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ncache_netbuf.
+# This may be replaced when dependencies are built.

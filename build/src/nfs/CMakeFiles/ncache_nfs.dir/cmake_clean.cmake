@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncache_nfs.dir/client.cc.o"
+  "CMakeFiles/ncache_nfs.dir/client.cc.o.d"
+  "CMakeFiles/ncache_nfs.dir/protocol.cc.o"
+  "CMakeFiles/ncache_nfs.dir/protocol.cc.o.d"
+  "CMakeFiles/ncache_nfs.dir/server.cc.o"
+  "CMakeFiles/ncache_nfs.dir/server.cc.o.d"
+  "libncache_nfs.a"
+  "libncache_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncache_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/headers.cc" "src/proto/CMakeFiles/ncache_proto.dir/headers.cc.o" "gcc" "src/proto/CMakeFiles/ncache_proto.dir/headers.cc.o.d"
+  "/root/repo/src/proto/ip_reassembly.cc" "src/proto/CMakeFiles/ncache_proto.dir/ip_reassembly.cc.o" "gcc" "src/proto/CMakeFiles/ncache_proto.dir/ip_reassembly.cc.o.d"
+  "/root/repo/src/proto/nic.cc" "src/proto/CMakeFiles/ncache_proto.dir/nic.cc.o" "gcc" "src/proto/CMakeFiles/ncache_proto.dir/nic.cc.o.d"
+  "/root/repo/src/proto/stack.cc" "src/proto/CMakeFiles/ncache_proto.dir/stack.cc.o" "gcc" "src/proto/CMakeFiles/ncache_proto.dir/stack.cc.o.d"
+  "/root/repo/src/proto/switch.cc" "src/proto/CMakeFiles/ncache_proto.dir/switch.cc.o" "gcc" "src/proto/CMakeFiles/ncache_proto.dir/switch.cc.o.d"
+  "/root/repo/src/proto/tcp.cc" "src/proto/CMakeFiles/ncache_proto.dir/tcp.cc.o" "gcc" "src/proto/CMakeFiles/ncache_proto.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbuf/CMakeFiles/ncache_netbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ncache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ncache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

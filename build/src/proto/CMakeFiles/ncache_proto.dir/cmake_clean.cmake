@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncache_proto.dir/headers.cc.o"
+  "CMakeFiles/ncache_proto.dir/headers.cc.o.d"
+  "CMakeFiles/ncache_proto.dir/ip_reassembly.cc.o"
+  "CMakeFiles/ncache_proto.dir/ip_reassembly.cc.o.d"
+  "CMakeFiles/ncache_proto.dir/nic.cc.o"
+  "CMakeFiles/ncache_proto.dir/nic.cc.o.d"
+  "CMakeFiles/ncache_proto.dir/stack.cc.o"
+  "CMakeFiles/ncache_proto.dir/stack.cc.o.d"
+  "CMakeFiles/ncache_proto.dir/switch.cc.o"
+  "CMakeFiles/ncache_proto.dir/switch.cc.o.d"
+  "CMakeFiles/ncache_proto.dir/tcp.cc.o"
+  "CMakeFiles/ncache_proto.dir/tcp.cc.o.d"
+  "libncache_proto.a"
+  "libncache_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncache_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

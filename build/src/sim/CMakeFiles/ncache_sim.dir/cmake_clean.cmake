@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncache_sim.dir/cpu_model.cc.o"
+  "CMakeFiles/ncache_sim.dir/cpu_model.cc.o.d"
+  "CMakeFiles/ncache_sim.dir/event_loop.cc.o"
+  "CMakeFiles/ncache_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/ncache_sim.dir/link.cc.o"
+  "CMakeFiles/ncache_sim.dir/link.cc.o.d"
+  "libncache_sim.a"
+  "libncache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

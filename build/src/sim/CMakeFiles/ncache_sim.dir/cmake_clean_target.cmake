@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libncache_sim.a"
+)

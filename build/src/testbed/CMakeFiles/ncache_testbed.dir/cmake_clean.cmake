@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncache_testbed.dir/testbed.cc.o"
+  "CMakeFiles/ncache_testbed.dir/testbed.cc.o.d"
+  "libncache_testbed.a"
+  "libncache_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncache_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncache_workload.dir/nfs_workloads.cc.o"
+  "CMakeFiles/ncache_workload.dir/nfs_workloads.cc.o.d"
+  "CMakeFiles/ncache_workload.dir/trace.cc.o"
+  "CMakeFiles/ncache_workload.dir/trace.cc.o.d"
+  "CMakeFiles/ncache_workload.dir/web_workloads.cc.o"
+  "CMakeFiles/ncache_workload.dir/web_workloads.cc.o.d"
+  "libncache_workload.a"
+  "libncache_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncache_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netbuf_test.dir/netbuf_test.cc.o"
+  "CMakeFiles/netbuf_test.dir/netbuf_test.cc.o.d"
+  "netbuf_test"
+  "netbuf_test.pdb"
+  "netbuf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netbuf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_target_test.dir/wire_target_test.cc.o"
+  "CMakeFiles/wire_target_test.dir/wire_target_test.cc.o.d"
+  "wire_target_test"
+  "wire_target_test.pdb"
+  "wire_target_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_target_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
