@@ -1,6 +1,73 @@
 #include "bench/bench_util.h"
 
+#include <string_view>
+
 namespace ncache::bench {
+
+BenchOptions BenchOptions::parse(int& argc, char** argv) {
+  BenchOptions opts;
+  int keep = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      opts.smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opts.out_dir = std::string(arg.substr(6));
+    } else {
+      argv[keep++] = argv[i];
+    }
+  }
+  argc = keep;
+  argv[argc] = nullptr;
+  return opts;
+}
+
+BenchReport::BenchReport(const BenchOptions& opts, std::string name,
+                         std::string expectation)
+    : name_(std::move(name)), out_dir_(opts.out_dir) {
+  root_ = json::Value::object();
+  root_.set("bench", name_);
+  root_.set("expectation", std::move(expectation));
+  root_.set("smoke", opts.smoke);
+  root_.set("rows", json::Value::array());
+  root_.set("shape", json::Value::object());
+}
+
+void BenchReport::add_row(json::Value row) {
+  root_.find("rows")->push_back(std::move(row));
+}
+
+json::Value& BenchReport::shape() { return *root_.find("shape"); }
+
+bool BenchReport::write() const {
+  std::string path = out_dir_ + "/BENCH_" + name_ + ".json";
+  if (!json::write_file(root_, path)) {
+    std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
+}
+
+json::Value measured_json(const testbed::Testbed& tb,
+                          const testbed::Testbed::Snapshot& snap,
+                          double throughput_mb_s) {
+  auto m = json::Value::object();
+  m.set("throughput_mb_s", throughput_mb_s);
+  m.set("elapsed_s", snap.elapsed_s);
+  auto cpu = json::Value::object();
+  cpu.set("server", snap.server_cpu);
+  cpu.set("storage", snap.storage_cpu);
+  cpu.set("client_max", snap.client_cpu_max);
+  m.set("cpu", std::move(cpu));
+  m.set("link_util", snap.server_link_util);
+  auto copies = json::Value::object();
+  copies.set("data_ops", snap.server_data_copies);
+  copies.set("logical_ops", snap.server_logical_copies);
+  m.set("copies", std::move(copies));
+  m.set("registry", tb.metrics().to_json());
+  return m;
+}
 
 Task<void> warm_sequential(testbed::Testbed& tb, std::uint64_t fh,
                            std::uint64_t file_size, std::uint32_t request,
@@ -13,6 +80,34 @@ Task<void> warm_sequential(testbed::Testbed& tb, std::uint64_t fh,
     }
   }
 }
+
+namespace {
+
+// Periodic utilization sampler running inside the measurement window.
+// Joins live_workers so the drain loop keeps stepping until it has seen
+// the stop flag; the interval divides the window into samples+1 slots so
+// every sample lands strictly inside it.
+Task<void> timeline_sampler(testbed::Testbed* tb, sim::Time window_start,
+                            sim::Duration interval, int samples,
+                            workload::StopFlag* stop, json::Value* out) {
+  ++stop->live_workers;
+  for (int i = 0; i < samples; ++i) {
+    co_await sim::sleep_for(tb->loop(), interval);
+    if (stop->stopped) break;
+    auto s = tb->snapshot(window_start);
+    auto e = json::Value::object();
+    e.set("t_ms", double(tb->loop().now() - window_start) / 1e6);
+    e.set("server_cpu", s.server_cpu);
+    e.set("storage_cpu", s.storage_cpu);
+    e.set("link_util", s.server_link_util);
+    e.set("nfs_requests", s.nfs_requests);
+    e.set("read_bytes", s.read_bytes_served);
+    out->push_back(std::move(e));
+  }
+  --stop->live_workers;
+}
+
+}  // namespace
 
 NfsRunResult run_nfs_read_workload(testbed::Testbed& tb, std::uint64_t fh,
                                    std::uint64_t file_size,
@@ -42,9 +137,18 @@ NfsRunResult run_nfs_read_workload(testbed::Testbed& tb, std::uint64_t fh,
 
   tb.reset_stats();
   sim::Time window_start = tb.loop().now();
-  workload::run_measurement(tb.loop(), stop, config.duration);
 
   NfsRunResult result;
+  if (config.timeline_samples > 0) {
+    timeline_sampler(
+        &tb, window_start,
+        config.duration / sim::Duration(config.timeline_samples + 1),
+        config.timeline_samples, &stop, &result.timeline)
+        .detach();
+  }
+
+  workload::run_measurement(tb.loop(), stop, config.duration);
+
   result.snapshot = tb.snapshot(window_start);
   result.counters = counters;
   result.throughput_mb_s = counters.mb_per_sec(config.duration);

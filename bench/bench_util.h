@@ -1,12 +1,14 @@
 // Shared helpers for the figure/table reproduction binaries: table
-// printing with paper-expectation annotations, and common testbed warm-up
-// / measurement drivers.
+// printing with paper-expectation annotations, common testbed warm-up /
+// measurement drivers, and the structured BENCH_<name>.json telemetry
+// every binary emits alongside its text output.
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/logging.h"
 #include "testbed/testbed.h"
 #include "workload/counters.h"
@@ -31,6 +33,57 @@ inline void print_row_header(const std::vector<std::string>& cols) {
 
 inline void quiet_logs() { log::set_level(log::Level::Error); }
 
+/// Command-line options shared by every bench binary.
+///
+///   --smoke     tiny volumes and short windows: exercises every code
+///               path in a ctest-friendly runtime (shapes are NOT
+///               meaningful at smoke scale, only plumbing/determinism)
+///   --out=DIR   directory for BENCH_<name>.json (default ".")
+struct BenchOptions {
+  bool smoke = false;
+  std::string out_dir = ".";
+
+  /// Parses and REMOVES the recognized flags from argv (argc adjusted),
+  /// so leftover args can go to other parsers (google-benchmark).
+  static BenchOptions parse(int& argc, char** argv);
+};
+
+/// Builder for the structured telemetry file. Layout:
+///
+///   { "bench": <name>, "expectation": <paper shape, prose>,
+///     "smoke": bool, "rows": [...], "shape": {...} }
+///
+/// Rows carry per-configuration results (each mode's `measured_json`
+/// block plus bench-specific fields); `shape` holds the paper-vs-measured
+/// summary numbers the figure is judged by. Everything written here is
+/// derived from simulated time only, so two same-seed runs dump
+/// byte-identical files.
+class BenchReport {
+ public:
+  BenchReport(const BenchOptions& opts, std::string name,
+              std::string expectation);
+
+  void add_row(json::Value row);
+  json::Value& shape();
+  json::Value& root() noexcept { return root_; }
+
+  /// Writes BENCH_<name>.json into out_dir; prints the path. Returns
+  /// false if the file cannot be written.
+  bool write() const;
+
+ private:
+  std::string name_;
+  std::string out_dir_;
+  json::Value root_;
+};
+
+/// The standard measured block every bench row embeds: throughput,
+/// per-node CPU utilization, link utilization, physical/logical copy
+/// counts, and the full metric-registry snapshot.
+json::Value measured_json(const testbed::Testbed& tb,
+                          const testbed::Testbed::Snapshot& snap,
+                          double throughput_mb_s);
+
 /// Warms the app-server caches with `passes` sequential read sweeps of the
 /// file (issued from client 0).
 Task<void> warm_sequential(testbed::Testbed& tb, std::uint64_t fh,
@@ -44,6 +97,9 @@ struct NfsRunConfig {
   int streams_per_client = 6;
   sim::Duration duration = 800 * sim::kMillisecond;
   bool hot = false;  ///< true: random hot-set reads; false: sequential
+  /// >0: record this many evenly-spaced utilization samples inside the
+  /// window (exported as the row's "timeline" array).
+  int timeline_samples = 0;
 };
 
 struct NfsRunResult {
@@ -53,6 +109,7 @@ struct NfsRunResult {
   double server_cpu = 0;
   double storage_cpu = 0;
   double link_util = 0;
+  json::Value timeline = json::Value::array();
 };
 
 NfsRunResult run_nfs_read_workload(testbed::Testbed& tb, std::uint64_t fh,

@@ -49,6 +49,7 @@ struct WebBench {
     hc.mode = mode;
     server = std::make_unique<http::KHttpd>(tb->server_node().stack, tb->fs(),
                                             hc, tb->ncache());
+    server->register_metrics(tb->metrics(), "server");
     server->start();
   }
 
@@ -65,9 +66,15 @@ struct WebBench {
   }
 };
 
+struct Point {
+  double mb_s = 0;
+  json::Value measured;
+};
+
 // ---- panel (a): SPECweb99-like, working-set sweep ---------------------------
 
-double run_specweb(PassMode mode, std::uint64_t working_set_bytes) {
+Point run_specweb(PassMode mode, std::uint64_t working_set_bytes,
+                  const BenchOptions& opts) {
   // Server memory scales like the paper's 1:5-scaled testbed: the fs
   // cache + NCache pool together model ~160 MB of cacheable memory.
   std::uint64_t volume_blocks = (working_set_bytes >> 12) + 32 * 1024;
@@ -100,7 +107,8 @@ double run_specweb(PassMode mode, std::uint64_t working_set_bytes) {
                                std::uint32_t(i + 1), &warm, &wc)
           .detach();
     }
-    workload::run_measurement(b.tb->loop(), warm, 1200 * sim::kMillisecond);
+    workload::run_measurement(b.tb->loop(), warm,
+                              (opts.smoke ? 100 : 1200) * sim::kMillisecond);
   }
 
   workload::StopFlag stop;
@@ -111,14 +119,18 @@ double run_specweb(PassMode mode, std::uint64_t working_set_bytes) {
         .detach();
   }
   b.tb->reset_stats();
-  auto window = workload::run_measurement(b.tb->loop(), stop,
-                                          1000 * sim::kMillisecond);
-  return counters.mb_per_sec(window);
+  sim::Time window_start = b.tb->loop().now();
+  auto window = workload::run_measurement(
+      b.tb->loop(), stop, (opts.smoke ? 80 : 1000) * sim::kMillisecond);
+  double mb_s = counters.mb_per_sec(window);
+  return Point{mb_s,
+               measured_json(*b.tb, b.tb->snapshot(window_start), mb_s)};
 }
 
 // ---- panel (b): all-hit request-size sweep ----------------------------------
 
-double run_allhit(PassMode mode, std::uint32_t page_bytes) {
+Point run_allhit(PassMode mode, std::uint32_t page_bytes,
+                 const BenchOptions& opts) {
   WebBench b(mode, 16 * 1024, 4 * 1024, 64ull << 20, 8);
   // A handful of pages of exactly the requested size (5 MB hot set).
   std::vector<std::string> paths;
@@ -147,18 +159,28 @@ double run_allhit(PassMode mode, std::uint32_t page_bytes) {
         .detach();
   }
   b.tb->reset_stats();
-  auto window = workload::run_measurement(b.tb->loop(), stop,
-                                          500 * sim::kMillisecond);
-  return counters.mb_per_sec(window);
+  sim::Time window_start = b.tb->loop().now();
+  auto window = workload::run_measurement(
+      b.tb->loop(), stop, (opts.smoke ? 60 : 500) * sim::kMillisecond);
+  double mb_s = counters.mb_per_sec(window);
+  return Point{mb_s,
+               measured_json(*b.tb, b.tb->snapshot(window_start), mb_s)};
 }
 
 }  // namespace
 }  // namespace ncache::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncache::bench;
   using ncache::core::PassMode;
+  using ncache::json::Value;
+  auto opts = BenchOptions::parse(argc, argv);
   quiet_logs();
+
+  BenchReport report(opts, "fig6_khttpd",
+                     "SPECweb99-like: NCache +10-20% over original, baseline "
+                     "~+40%; all-hit: NCache gain grows ~8% at 16KB to ~47% "
+                     "at 128KB");
 
   print_header(
       "Figure 6(a): kHTTPd, SPECweb99-like workload vs working-set size",
@@ -167,13 +189,32 @@ int main() {
       "(metadata overhead)");
   print_row_header({"ws_MB", "orig_MB/s", "nc_MB/s", "base_MB/s", "nc_gain%",
                     "base_gain%"});
-  for (std::uint64_t ws_mb : {50ull, 100ull, 150ull, 200ull}) {
-    double orig = run_specweb(PassMode::Original, ws_mb << 20);
-    double nc = run_specweb(PassMode::NCache, ws_mb << 20);
-    double base = run_specweb(PassMode::Baseline, ws_mb << 20);
+  std::vector<std::uint64_t> ws_mbs =
+      opts.smoke ? std::vector<std::uint64_t>{16ull}
+                 : std::vector<std::uint64_t>{50ull, 100ull, 150ull, 200ull};
+  double specweb_nc_gain_first = 0;
+  for (std::uint64_t ws_mb : ws_mbs) {
+    Point orig = run_specweb(PassMode::Original, ws_mb << 20, opts);
+    Point nc = run_specweb(PassMode::NCache, ws_mb << 20, opts);
+    Point base = run_specweb(PassMode::Baseline, ws_mb << 20, opts);
+    double nc_gain = (nc.mb_s / orig.mb_s - 1.0) * 100;
+    double base_gain = (base.mb_s / orig.mb_s - 1.0) * 100;
     std::printf("%14llu%14.1f%14.1f%14.1f%14.0f%14.0f\n",
-                (unsigned long long)ws_mb, orig, nc, base,
-                (nc / orig - 1.0) * 100, (base / orig - 1.0) * 100);
+                (unsigned long long)ws_mb, orig.mb_s, nc.mb_s, base.mb_s,
+                nc_gain, base_gain);
+    if (ws_mb == ws_mbs.front()) specweb_nc_gain_first = nc_gain;
+
+    auto row = Value::object();
+    row.set("panel", "a");
+    row.set("working_set_mb", ws_mb);
+    auto modes = Value::object();
+    modes.set("original", std::move(orig.measured));
+    modes.set("ncache", std::move(nc.measured));
+    modes.set("baseline", std::move(base.measured));
+    row.set("modes", std::move(modes));
+    row.set("ncache_gain_pct", nc_gain);
+    row.set("baseline_gain_pct", base_gain);
+    report.add_row(std::move(row));
   }
 
   print_header(
@@ -181,12 +222,40 @@ int main() {
       "NCache gain grows from ~8% at 16KB to ~47% at 128KB");
   print_row_header({"req_KB", "orig_MB/s", "nc_MB/s", "base_MB/s",
                     "nc_gain%", "base_gain%"});
-  for (std::uint32_t req : {16u, 32u, 64u, 128u}) {
-    double orig = run_allhit(PassMode::Original, req * 1024);
-    double nc = run_allhit(PassMode::NCache, req * 1024);
-    double base = run_allhit(PassMode::Baseline, req * 1024);
-    std::printf("%14u%14.1f%14.1f%14.1f%14.0f%14.0f\n", req, orig, nc, base,
-                (nc / orig - 1.0) * 100, (base / orig - 1.0) * 100);
+  std::vector<std::uint32_t> reqs =
+      opts.smoke ? std::vector<std::uint32_t>{32u}
+                 : std::vector<std::uint32_t>{16u, 32u, 64u, 128u};
+  double allhit_nc_gain_last = 0;
+  for (std::uint32_t req : reqs) {
+    Point orig = run_allhit(PassMode::Original, req * 1024, opts);
+    Point nc = run_allhit(PassMode::NCache, req * 1024, opts);
+    Point base = run_allhit(PassMode::Baseline, req * 1024, opts);
+    double nc_gain = (nc.mb_s / orig.mb_s - 1.0) * 100;
+    double base_gain = (base.mb_s / orig.mb_s - 1.0) * 100;
+    std::printf("%14u%14.1f%14.1f%14.1f%14.0f%14.0f\n", req, orig.mb_s,
+                nc.mb_s, base.mb_s, nc_gain, base_gain);
+    if (req == reqs.back()) allhit_nc_gain_last = nc_gain;
+
+    auto row = Value::object();
+    row.set("panel", "b");
+    row.set("request_bytes", req * 1024);
+    auto modes = Value::object();
+    modes.set("original", std::move(orig.measured));
+    modes.set("ncache", std::move(nc.measured));
+    modes.set("baseline", std::move(base.measured));
+    row.set("modes", std::move(modes));
+    row.set("ncache_gain_pct", nc_gain);
+    row.set("baseline_gain_pct", base_gain);
+    report.add_row(std::move(row));
   }
-  return 0;
+
+  auto& shape = report.shape();
+  shape.set("specweb_ncache_gain_smallest_ws_pct", specweb_nc_gain_first);
+  shape.set("allhit_ncache_gain_largest_req_pct", allhit_nc_gain_last);
+  auto paper = Value::object();
+  paper.set("specweb_ncache_gain_low_pct", 10.0);
+  paper.set("specweb_ncache_gain_high_pct", 20.0);
+  paper.set("allhit_ncache_gain_at_128k_pct", 47.0);
+  shape.set("paper", std::move(paper));
+  return report.write() ? 0 : 1;
 }

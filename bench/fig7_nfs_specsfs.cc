@@ -30,14 +30,20 @@ Task<void> background_flusher(testbed::Testbed* tb,
   }
 }
 
-double run_one(PassMode mode, double data_fraction) {
+struct Point {
+  double ops_s = 0;
+  json::Value measured;
+};
+
+Point run_one(PassMode mode, double data_fraction, const BenchOptions& opts) {
   TestbedConfig cfg;
   cfg.mode = mode;
   cfg.client_count = 2;
   // 2 GB fs scaled 1:4 -> 512 MB volume, 10% (51 MB) active set. The
   // server's memory scales like the paper's 896 MB box: the active set
   // fits in memory, so warmed reads are cache hits and the CPU binds.
-  cfg.volume_blocks = 144 * 1024;
+  // Smoke shrinks set and volume proportionally.
+  cfg.volume_blocks = opts.smoke ? 32 * 1024 : 144 * 1024;
   cfg.inode_count = 8192;
   // Memory-equal configurations: the original/baseline servers use all
   // 128 MB as page cache; the NCache server splits the same memory
@@ -56,10 +62,10 @@ double run_one(PassMode mode, double data_fraction) {
 
   auto files = std::make_shared<
       std::vector<std::pair<std::uint64_t, std::uint64_t>>>();
-  constexpr std::uint64_t kActiveBytes = 51ull << 20;
-  constexpr int kFiles = 200;
-  for (int i = 0; i < kFiles; ++i) {
-    std::uint64_t size = kActiveBytes / kFiles;  // ~260 KB each
+  const std::uint64_t active_bytes = opts.smoke ? 6ull << 20 : 51ull << 20;
+  const int file_count = opts.smoke ? 24 : 200;
+  for (int i = 0; i < file_count; ++i) {
+    std::uint64_t size = active_bytes / std::uint64_t(file_count);
     auto ino = tb.image().add_file("sfs" + std::to_string(i), size);
     files->push_back({ino, size});
   }
@@ -69,7 +75,7 @@ double run_one(PassMode mode, double data_fraction) {
   sc.data_op_fraction = data_fraction;
   sc.seed = 7;
 
-  constexpr int kWorkersPerClient = 32;
+  const int workers_per_client = opts.smoke ? 8 : 32;
   // Warm round: touch the whole active set sequentially, then mix.
   {
     auto warm_fn = [&]() -> Task<void> {
@@ -85,20 +91,21 @@ double run_one(PassMode mode, double data_fraction) {
     workload::StopFlag warm;
     workload::Counters wc;
     for (int ci = 0; ci < tb.client_count(); ++ci) {
-      for (int w = 0; w < kWorkersPerClient; ++w) {
+      for (int w = 0; w < workers_per_client; ++w) {
         workload::specsfs_worker(tb.nfs_client(ci), files, sc,
                                  std::uint32_t(ci * 100 + w), &warm, &wc)
             .detach();
       }
     }
     background_flusher(&tb, &warm).detach();
-    workload::run_measurement(tb.loop(), warm, 500 * sim::kMillisecond);
+    workload::run_measurement(tb.loop(), warm,
+                              (opts.smoke ? 60 : 500) * sim::kMillisecond);
   }
 
   workload::StopFlag stop;
   workload::Counters counters;
   for (int ci = 0; ci < tb.client_count(); ++ci) {
-    for (int w = 0; w < kWorkersPerClient; ++w) {
+    for (int w = 0; w < workers_per_client; ++w) {
       workload::specsfs_worker(tb.nfs_client(ci), files, sc,
                                std::uint32_t(1000 + ci * 100 + w), &stop,
                                &counters)
@@ -107,17 +114,25 @@ double run_one(PassMode mode, double data_fraction) {
   }
   background_flusher(&tb, &stop).detach();
   tb.reset_stats();
-  auto window =
-      workload::run_measurement(tb.loop(), stop, 1000 * sim::kMillisecond);
-  return counters.ops_per_sec(window);
+  sim::Time window_start = tb.loop().now();
+  auto window = workload::run_measurement(
+      tb.loop(), stop, (opts.smoke ? 100 : 1000) * sim::kMillisecond);
+  Point p;
+  p.ops_s = counters.ops_per_sec(window);
+  p.measured = measured_json(tb, tb.snapshot(window_start),
+                             counters.mb_per_sec(window));
+  p.measured.set("ops_per_sec", p.ops_s);
+  return p;
 }
 
 }  // namespace
 }  // namespace ncache::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncache::bench;
   using ncache::core::PassMode;
+  using ncache::json::Value;
+  auto opts = BenchOptions::parse(argc, argv);
   quiet_logs();
   print_header(
       "Figure 7: NFS server, SPECsfs-like op mix vs % regular-data ops",
@@ -125,12 +140,40 @@ int main() {
       "fraction: +16.3% at 30%, +18.6% at 75% in the paper");
   print_row_header({"data_ops%", "orig_ops/s", "nc_ops/s", "base_ops/s",
                     "nc_gain%", "base_gain%"});
-  for (double frac : {0.30, 0.50, 0.75}) {
-    double orig = run_one(PassMode::Original, frac);
-    double nc = run_one(PassMode::NCache, frac);
-    double base = run_one(PassMode::Baseline, frac);
-    std::printf("%14.0f%14.0f%14.0f%14.0f%14.1f%14.1f\n", frac * 100, orig,
-                nc, base, (nc / orig - 1.0) * 100, (base / orig - 1.0) * 100);
+  BenchReport report(opts, "fig7_nfs_specsfs",
+                     "NCache above original; gain grows with the data-op "
+                     "fraction: +16.3% at 30%, +18.6% at 75%");
+  std::vector<double> fracs = opts.smoke ? std::vector<double>{0.50}
+                                         : std::vector<double>{0.30, 0.50, 0.75};
+  double nc_gain_first = 0, nc_gain_last = 0;
+  for (double frac : fracs) {
+    Point orig = run_one(PassMode::Original, frac, opts);
+    Point nc = run_one(PassMode::NCache, frac, opts);
+    Point base = run_one(PassMode::Baseline, frac, opts);
+    double nc_gain = (nc.ops_s / orig.ops_s - 1.0) * 100;
+    double base_gain = (base.ops_s / orig.ops_s - 1.0) * 100;
+    std::printf("%14.0f%14.0f%14.0f%14.0f%14.1f%14.1f\n", frac * 100,
+                orig.ops_s, nc.ops_s, base.ops_s, nc_gain, base_gain);
+    if (frac == fracs.front()) nc_gain_first = nc_gain;
+    if (frac == fracs.back()) nc_gain_last = nc_gain;
+
+    auto row = Value::object();
+    row.set("data_op_fraction", frac);
+    auto modes = Value::object();
+    modes.set("original", std::move(orig.measured));
+    modes.set("ncache", std::move(nc.measured));
+    modes.set("baseline", std::move(base.measured));
+    row.set("modes", std::move(modes));
+    row.set("ncache_gain_pct", nc_gain);
+    row.set("baseline_gain_pct", base_gain);
+    report.add_row(std::move(row));
   }
-  return 0;
+  auto& shape = report.shape();
+  shape.set("ncache_gain_lowest_fraction_pct", nc_gain_first);
+  shape.set("ncache_gain_highest_fraction_pct", nc_gain_last);
+  auto paper = Value::object();
+  paper.set("ncache_gain_at_30pct_data_pct", 16.3);
+  paper.set("ncache_gain_at_75pct_data_pct", 18.6);
+  shape.set("paper", std::move(paper));
+  return report.write() ? 0 : 1;
 }

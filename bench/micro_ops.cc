@@ -3,8 +3,14 @@
 // DESIGN.md. These measure *host* (wall-clock) performance of the library
 // primitives — useful for keeping the simulator fast — and, for the
 // simulated-cost ablations, report the simulated-time ratios as counters.
+//
+// BENCH_micro_ops.json carries only *simulated* quantities (cost-model
+// numbers and one short testbed window): wall-clock results are
+// machine-dependent and would break the two-runs-byte-identical
+// determinism contract, so they stay on stdout.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "common/checksum.h"
 #include "core/net_centric_cache.h"
 #include "fs/image_builder.h"
@@ -185,6 +191,78 @@ void BM_ContentFillVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_ContentFillVerify);
 
+// --- structured report (sim-derived values only) ------------------------------
+
+ncache::json::Value cost_row(const char* op, std::uint64_t bytes,
+                             double sim_ns) {
+  auto row = ncache::json::Value::object();
+  row.set("op", op);
+  row.set("bytes", bytes);
+  row.set("sim_ns", sim_ns);
+  return row;
+}
+
+int write_report(const ncache::bench::BenchOptions& opts) {
+  using namespace ncache::bench;
+  using ncache::json::Value;
+  BenchReport report(opts, "micro_ops",
+                     "cost-model primitives: a logical copy is orders of "
+                     "magnitude cheaper than a physical 4K/32K copy");
+  sim::CostModel costs;
+  report.add_row(cost_row("physical_copy", 4096,
+                          double(costs.copy_cost(4096))));
+  report.add_row(cost_row("physical_copy", 32768,
+                          double(costs.copy_cost(32768))));
+  report.add_row(cost_row("logical_copy", 4096,
+                          double(costs.logical_copy_ns)));
+  report.add_row(cost_row("software_checksum", 1460,
+                          double(costs.checksum_cost(1460))));
+  report.add_row(cost_row("software_checksum", 32768,
+                          double(costs.checksum_cost(32768))));
+
+  // One short all-hit testbed window so the report carries the standard
+  // system-metric block (throughput / CPU / link / copies), all
+  // simulated and deterministic.
+  {
+    using ncache::core::PassMode;
+    using ncache::testbed::Testbed;
+    using ncache::testbed::TestbedConfig;
+    TestbedConfig cfg;
+    cfg.mode = PassMode::NCache;
+    cfg.volume_blocks = 8 * 1024;
+    Testbed tb(cfg);
+    constexpr std::uint64_t kHot = 2 << 20;
+    std::uint32_t ino = tb.image().add_file("hot.bin", kHot);
+    tb.start_nfs();
+    sim::sync_wait(tb.loop(), warm_sequential(tb, ino, kHot, 32768, 1));
+    NfsRunConfig rc;
+    rc.request_size = 32768;
+    rc.streams_per_client = 4;
+    rc.hot = true;
+    rc.duration = 40 * sim::kMillisecond;
+    NfsRunResult r = run_nfs_read_workload(tb, ino, kHot, rc);
+    report.root().set("measured",
+                      measured_json(tb, r.snapshot, r.throughput_mb_s));
+  }
+
+  auto& shape = report.shape();
+  shape.set("logical_vs_physical_4k_speedup",
+            double(costs.copy_cost(4096)) / double(costs.logical_copy_ns));
+  return report.write() ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  auto opts = ncache::bench::BenchOptions::parse(argc, argv);
+  ncache::bench::quiet_logs();
+  int rc = write_report(opts);
+  if (rc != 0) return rc;
+  // Wall-clock suite: skipped in smoke mode (slow, nondeterministic, and
+  // its numbers never enter the JSON report).
+  if (!opts.smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}

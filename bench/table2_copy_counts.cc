@@ -28,7 +28,12 @@ struct Counts {
   std::uint64_t write_flush = 0;
 };
 
-Counts measure_nfs(PassMode mode) {
+struct Run {
+  Counts counts;
+  json::Value measured;
+};
+
+Run measure_nfs(PassMode mode) {
   TestbedConfig cfg;
   cfg.mode = mode;
   Testbed tb(cfg);
@@ -63,10 +68,15 @@ Counts measure_nfs(PassMode mode) {
     out.write_flush = copier.stats().data_copy_ops;
   };
   sim::sync_wait(tb.loop(), t_fn());
-  return out;
+
+  auto snap = tb.snapshot(0);
+  double mb_s =
+      snap.elapsed_s > 0 ? double(snap.read_bytes_served) / 1e6 / snap.elapsed_s
+                         : 0.0;
+  return Run{out, measured_json(tb, snap, mb_s)};
 }
 
-Counts measure_khttpd(PassMode mode) {
+Run measure_khttpd(PassMode mode) {
   TestbedConfig cfg;
   cfg.mode = mode;
   Testbed tb(cfg);
@@ -75,6 +85,7 @@ Counts measure_khttpd(PassMode mode) {
   http::KHttpd::Config hc;
   hc.mode = mode;
   http::KHttpd server(tb.server_node().stack, tb.fs(), hc, tb.ncache());
+  server.register_metrics(tb.metrics(), "server");
   server.start();
   http::HttpClient client(tb.client_node(0).stack, tb.client_ip(0),
                           tb.server_ip(0));
@@ -94,55 +105,95 @@ Counts measure_khttpd(PassMode mode) {
     out.read_hit = copier.stats().data_copy_ops;
   };
   sim::sync_wait(tb.loop(), t_fn());
-  return out;
+
+  auto snap = tb.snapshot(0);
+  double body_bytes =
+      double(tb.metrics().counter_value("server", "http.body_bytes"));
+  double mb_s = snap.elapsed_s > 0 ? body_bytes / 1e6 / snap.elapsed_s : 0.0;
+  return Run{out, measured_json(tb, snap, mb_s)};
 }
 
-const char* check(std::uint64_t got, std::uint64_t expect) {
-  return got == expect ? "PASS" : "FAIL";
+json::Value counts_json(const Counts& c, bool with_writes) {
+  auto v = json::Value::object();
+  v.set("read_hit", c.read_hit);
+  v.set("read_miss", c.read_miss);
+  if (with_writes) {
+    v.set("write_overwrite", c.write_overwrite);
+    v.set("write_flush", c.write_flush);
+  }
+  return v;
 }
 
 }  // namespace
 }  // namespace ncache::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncache::bench;
   using ncache::core::PassMode;
+  using ncache::json::Value;
+  auto opts = BenchOptions::parse(argc, argv);
   quiet_logs();
   print_header(
       "Table 2: data copy operations per request",
       "original NFS: hit=2 miss=3 overwrite=1 flushed=2; original kHTTPd: "
       "hit=1 miss=2; NCache/baseline: 0 everywhere");
+  BenchReport report(opts, "table2_copy_counts",
+                     "original NFS: hit=2 miss=3 overwrite=1 flushed=2; "
+                     "original kHTTPd: hit=1 miss=2; NCache/baseline: 0");
 
+  bool all_pass = true;
   std::printf("%-22s%10s%10s%12s%10s%8s\n", "configuration", "read_hit",
               "read_miss", "overwrite", "flushed", "check");
   for (PassMode mode :
        {PassMode::Original, PassMode::NCache, PassMode::Baseline}) {
-    Counts nfs = measure_nfs(mode);
+    Run nfs = measure_nfs(mode);
     bool is_orig = mode == PassMode::Original;
     Counts expect = is_orig ? Counts{2, 3, 1, 2} : Counts{0, 0, 0, 0};
-    bool ok = nfs.read_hit == expect.read_hit &&
-              nfs.read_miss == expect.read_miss &&
-              nfs.write_overwrite == expect.write_overwrite &&
-              nfs.write_flush == expect.write_flush;
+    bool ok = nfs.counts.read_hit == expect.read_hit &&
+              nfs.counts.read_miss == expect.read_miss &&
+              nfs.counts.write_overwrite == expect.write_overwrite &&
+              nfs.counts.write_flush == expect.write_flush;
+    all_pass = all_pass && ok;
     std::printf("%-22s%10llu%10llu%12llu%10llu%8s\n",
                 (std::string("NFS-") + ncache::core::to_string(mode)).c_str(),
-                (unsigned long long)nfs.read_hit,
-                (unsigned long long)nfs.read_miss,
-                (unsigned long long)nfs.write_overwrite,
-                (unsigned long long)nfs.write_flush, ok ? "PASS" : "FAIL");
+                (unsigned long long)nfs.counts.read_hit,
+                (unsigned long long)nfs.counts.read_miss,
+                (unsigned long long)nfs.counts.write_overwrite,
+                (unsigned long long)nfs.counts.write_flush,
+                ok ? "PASS" : "FAIL");
+
+    auto row = Value::object();
+    row.set("server", "nfs");
+    row.set("mode", ncache::core::to_string(mode));
+    row.set("copies", counts_json(nfs.counts, true));
+    row.set("expected", counts_json(expect, true));
+    row.set("pass", ok);
+    row.set("measured", std::move(nfs.measured));
+    report.add_row(std::move(row));
   }
   for (PassMode mode :
        {PassMode::Original, PassMode::NCache, PassMode::Baseline}) {
-    Counts web = measure_khttpd(mode);
+    Run web = measure_khttpd(mode);
     bool is_orig = mode == PassMode::Original;
-    std::uint64_t eh = is_orig ? 1 : 0;
-    std::uint64_t em = is_orig ? 2 : 0;
+    Counts expect{is_orig ? 1ull : 0ull, is_orig ? 2ull : 0ull, 0, 0};
+    bool ok = web.counts.read_hit == expect.read_hit &&
+              web.counts.read_miss == expect.read_miss;
+    all_pass = all_pass && ok;
     std::printf("%-22s%10llu%10llu%12s%10s%8s\n",
                 (std::string("kHTTPd-") + ncache::core::to_string(mode)).c_str(),
-                (unsigned long long)web.read_hit,
-                (unsigned long long)web.read_miss, "n/a", "n/a",
-                (web.read_hit == eh && web.read_miss == em) ? "PASS" : "FAIL");
+                (unsigned long long)web.counts.read_hit,
+                (unsigned long long)web.counts.read_miss, "n/a", "n/a",
+                ok ? "PASS" : "FAIL");
+
+    auto row = Value::object();
+    row.set("server", "khttpd");
+    row.set("mode", ncache::core::to_string(mode));
+    row.set("copies", counts_json(web.counts, false));
+    row.set("expected", counts_json(expect, false));
+    row.set("pass", ok);
+    row.set("measured", std::move(web.measured));
+    report.add_row(std::move(row));
   }
-  (void)check;
-  return 0;
+  report.shape().set("all_rows_match_paper", all_pass);
+  return report.write() && all_pass ? 0 : 1;
 }

@@ -1,0 +1,155 @@
+// Schema checker for BENCH_*.json files (see bench/bench_schema.json).
+//
+// Rules, driven by the schema file:
+//   * top_required      — dotted paths that must exist at the top level;
+//   * rows_min          — minimum number of entries in "rows";
+//   * measured_required — every "measured block" (an object carrying a
+//                         "throughput_mb_s" member) must contain these
+//                         dotted paths;
+//   * measured_min      — minimum number of measured blocks per file.
+//
+// Additionally, no null may appear anywhere: the JSON dumper turns
+// non-finite doubles into null, so this doubles as the
+// "all values finite" acceptance check. Exit code 0 iff every file
+// passes.
+//
+// Usage: validate_bench_json <schema.json> <bench.json> [<bench.json>...]
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+
+namespace {
+
+using ncache::json::Value;
+
+bool load(const std::string& path, Value& out, std::string& err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    err = "cannot open";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = Value::parse(buf.str(), &err);
+  if (!parsed) return false;
+  out = std::move(*parsed);
+  return true;
+}
+
+struct Stats {
+  int errors = 0;
+  int measured_blocks = 0;
+};
+
+void fail(Stats& st, const std::string& file, const std::string& what) {
+  std::fprintf(stderr, "%s: %s\n", file.c_str(), what.c_str());
+  ++st.errors;
+}
+
+void check_measured(const Value& block, const Value& required,
+                    const std::string& file, Stats& st) {
+  ++st.measured_blocks;
+  for (const auto& path : required.items()) {
+    if (!block.find_path(path.as_string())) {
+      fail(st, file, "measured block missing \"" + path.as_string() + "\"");
+    }
+  }
+}
+
+// Walks the whole tree: flags nulls and non-finite numbers, and runs the
+// measured-block check on every object that carries "throughput_mb_s".
+void walk(const Value& v, const Value& measured_required,
+          const std::string& file, const std::string& where, Stats& st) {
+  if (v.is_null()) {
+    fail(st, file, "null (non-finite?) value at " + where);
+    return;
+  }
+  if (v.is_number() && !std::isfinite(v.as_double())) {
+    fail(st, file, "non-finite number at " + where);
+    return;
+  }
+  if (v.is_object()) {
+    if (v.find("throughput_mb_s")) {
+      check_measured(v, measured_required, file, st);
+    }
+    for (const auto& [k, child] : v.members()) {
+      walk(child, measured_required, file, where + "." + k, st);
+    }
+  } else if (v.is_array()) {
+    for (std::size_t i = 0; i < v.items().size(); ++i) {
+      walk(v.items()[i], measured_required, file,
+           where + "[" + std::to_string(i) + "]", st);
+    }
+  }
+}
+
+int validate(const Value& schema, const std::string& file) {
+  Stats st;
+  Value doc;
+  std::string err;
+  if (!load(file, doc, err)) {
+    fail(st, file, "parse failed: " + err);
+    return st.errors;
+  }
+
+  if (const Value* top = schema.find("top_required")) {
+    for (const auto& path : top->items()) {
+      if (!doc.find_path(path.as_string())) {
+        fail(st, file, "missing top-level \"" + path.as_string() + "\"");
+      }
+    }
+  }
+
+  const Value* rows = doc.find("rows");
+  std::int64_t rows_min =
+      schema.find("rows_min") ? schema.find("rows_min")->as_int() : 1;
+  if (!rows || !rows->is_array() ||
+      std::int64_t(rows->items().size()) < rows_min) {
+    fail(st, file,
+         "\"rows\" must be an array with at least " +
+             std::to_string(rows_min) + " entries");
+  }
+
+  static const Value kEmpty = Value::array();
+  const Value* required = schema.find("measured_required");
+  walk(doc, required ? *required : kEmpty, file, "$", st);
+
+  std::int64_t measured_min =
+      schema.find("measured_min") ? schema.find("measured_min")->as_int() : 0;
+  if (st.measured_blocks < measured_min) {
+    fail(st, file,
+         "expected at least " + std::to_string(measured_min) +
+             " measured block(s), found " +
+             std::to_string(st.measured_blocks));
+  }
+  return st.errors;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <schema.json> <bench.json> [<bench.json>...]\n",
+                 argv[0]);
+    return 2;
+  }
+  Value schema;
+  std::string err;
+  if (!load(argv[1], schema, err)) {
+    std::fprintf(stderr, "%s: schema parse failed: %s\n", argv[1],
+                 err.c_str());
+    return 2;
+  }
+  int errors = 0;
+  for (int i = 2; i < argc; ++i) {
+    int e = validate(schema, argv[i]);
+    if (e == 0) std::printf("%s: OK\n", argv[i]);
+    errors += e;
+  }
+  return errors == 0 ? 0 : 1;
+}

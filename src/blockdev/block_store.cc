@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/metrics.h"
+
 namespace ncache::blockdev {
 
 DiskModel::DiskModel(sim::EventLoop& loop, const sim::CostModel& costs,
@@ -170,6 +172,22 @@ std::vector<std::byte> BlockStore::peek(std::uint64_t lbn,
     }  // else zeros
   }
   return out;
+}
+
+void BlockStore::register_metrics(MetricRegistry& registry,
+                                  const std::string& node) {
+  registry.counter(node, "disk.reads", [this] { return reads_; });
+  registry.counter(node, "disk.writes", [this] { return writes_; });
+  for (unsigned i = 0; i < raid_.disk_count(); ++i) {
+    DiskModel* d = &raid_.disk(i);
+    std::string prefix = "disk" + std::to_string(i);
+    registry.counter(node, prefix + ".requests",
+                     [d] { return d->requests(); });
+    registry.counter(node, prefix + ".seeks", [d] { return d->seeks(); });
+    registry.gauge(node, prefix + ".utilization",
+                   [d] { return d->utilization(); });
+  }
+  registry.on_reset([this] { raid_.reset_stats(); });
 }
 
 }  // namespace ncache::blockdev

@@ -22,6 +22,10 @@
 #include "sim/cpu_model.h"
 #include "sim/event_loop.h"
 
+namespace ncache {
+class MetricRegistry;
+}
+
 namespace ncache::blockdev {
 
 constexpr std::size_t kBlockSize = 4096;  ///< logical block, matches fs block
@@ -97,6 +101,10 @@ class BlockStore {
   Raid0& raid() noexcept { return raid_; }
   std::uint64_t reads() const noexcept { return reads_; }
   std::uint64_t writes() const noexcept { return writes_; }
+
+  /// Publishes disk.* request counters and per-spindle utilization gauges
+  /// under `node`; hooks the RAID stats reset into the registry reset.
+  void register_metrics(MetricRegistry& registry, const std::string& node);
 
  private:
   void check_range(std::uint64_t lbn, std::uint32_t count) const;

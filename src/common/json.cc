@@ -1,0 +1,307 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace ncache::json {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// One fixed formatting for every double so identical simulations dump
+// identical bytes. %.9g round-trips the values we emit (utilizations,
+// MB/s, ratios) without trailing-digit jitter across runs.
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no NaN/Inf; the validator treats null as "not finite".
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string err;
+
+  bool fail(const std::string& what) {
+    if (err.empty()) err = what + " at offset " + std::to_string(pos);
+    return false;
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) { ++pos; return true; }
+    return false;
+  }
+  bool expect(char c) {
+    if (consume(c)) return true;
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("bad escape");
+        char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // Encode as UTF-8 (surrogate pairs unsupported; we never emit them).
+            if (code < 0x80) {
+              out += char(code);
+            } else if (code < 0x800) {
+              out += char(0xC0 | (code >> 6));
+              out += char(0x80 | (code & 0x3F));
+            } else {
+              out += char(0xE0 | (code >> 12));
+              out += char(0x80 | ((code >> 6) & 0x3F));
+              out += char(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out = Value::object();
+      skip_ws();
+      if (consume('}')) return true;
+      while (true) {
+        std::string key;
+        if (!parse_string(key)) return false;
+        if (!expect(':')) return false;
+        Value v;
+        if (!parse_value(v)) return false;
+        out.set(std::move(key), std::move(v));
+        if (consume(',')) continue;
+        return expect('}');
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out = Value::array();
+      skip_ws();
+      if (consume(']')) return true;
+      while (true) {
+        Value v;
+        if (!parse_value(v)) return false;
+        out.push_back(std::move(v));
+        if (consume(',')) continue;
+        return expect(']');
+      }
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = Value(std::move(s));
+      return true;
+    }
+    if (text.compare(pos, 4, "true") == 0) { pos += 4; out = Value(true); return true; }
+    if (text.compare(pos, 5, "false") == 0) { pos += 5; out = Value(false); return true; }
+    if (text.compare(pos, 4, "null") == 0) { pos += 4; out = Value(nullptr); return true; }
+    // number
+    std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    bool is_double = false;
+    if (pos < text.size() && text[pos] == '.') {
+      is_double = true;
+      ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      is_double = true;
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos == start || (pos == start + 1 && text[start] == '-'))
+      return fail("invalid value");
+    std::string num(text.substr(start, pos - start));
+    if (is_double) {
+      out = Value(std::strtod(num.c_str(), nullptr));
+    } else {
+      out = Value(std::int64_t(std::strtoll(num.c_str(), nullptr, 10)));
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+Value& Value::set(std::string key, Value v) {
+  type_ = Type::Object;
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+  return members_.back().second;
+}
+
+const Value* Value::find(std::string_view key) const {
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Value* Value::find(std::string_view key) {
+  for (auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Value* Value::find_path(std::string_view dotted) const {
+  const Value* cur = this;
+  while (!dotted.empty()) {
+    std::size_t dot = dotted.find('.');
+    std::string_view head = dotted.substr(0, dot);
+    cur = cur->find(head);
+    if (!cur) return nullptr;
+    if (dot == std::string_view::npos) break;
+    dotted.remove_prefix(dot + 1);
+  }
+  return cur;
+}
+
+Value& Value::push_back(Value v) {
+  type_ = Type::Array;
+  items_.push_back(std::move(v));
+  return items_.back();
+}
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(std::size_t(indent) * std::size_t(d), ' ');
+  };
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Int: out += std::to_string(int_); break;
+    case Type::Double: append_double(out, double_); break;
+    case Type::String: append_escaped(out, string_); break;
+    case Type::Array: {
+      if (items_.empty()) { out += "[]"; break; }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        newline_pad(depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      if (members_.empty()) { out += "{}"; break; }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out += ',';
+        newline_pad(depth + 1);
+        append_escaped(out, members_[i].first);
+        out += pretty ? ": " : ":";
+        members_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+std::optional<Value> Value::parse(std::string_view text, std::string* error) {
+  Parser p{text, 0, {}};
+  Value v;
+  if (!p.parse_value(v)) {
+    if (error) *error = p.err;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error) *error = "trailing garbage at offset " + std::to_string(p.pos);
+    return std::nullopt;
+  }
+  return v;
+}
+
+bool write_file(const Value& v, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << v.dump(2) << '\n';
+  return bool(out);
+}
+
+}  // namespace ncache::json

@@ -1,0 +1,104 @@
+// Minimal JSON value tree with deterministic serialization.
+//
+// Built for the metrics/bench telemetry pipeline: objects preserve
+// insertion order and numbers are printed through one fixed snprintf
+// format, so two runs of the same deterministic simulation dump
+// byte-identical files (an acceptance criterion for BENCH_*.json).
+// The parser exists for the consumers inside this repo — the bench JSON
+// validator and the registry round-trip tests — not as a general library.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ncache::json {
+
+class Value;
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type : std::uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  Value() : type_(Type::Null) {}
+  Value(std::nullptr_t) : type_(Type::Null) {}
+  Value(bool b) : type_(Type::Bool), bool_(b) {}
+  Value(int v) : type_(Type::Int), int_(v) {}
+  Value(unsigned v) : type_(Type::Int), int_(v) {}
+  Value(std::int64_t v) : type_(Type::Int), int_(v) {}
+  Value(std::uint64_t v) : type_(Type::Int), int_(std::int64_t(v)) {}
+  Value(double v) : type_(Type::Double), double_(v) {}
+  Value(const char* s) : type_(Type::String), string_(s) {}
+  Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  Value(std::string_view s) : type_(Type::String), string_(s) {}
+
+  static Value object() { Value v; v.type_ = Type::Object; return v; }
+  static Value array() { Value v; v.type_ = Type::Array; return v; }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::Null; }
+  bool is_number() const noexcept {
+    return type_ == Type::Int || type_ == Type::Double;
+  }
+  bool is_object() const noexcept { return type_ == Type::Object; }
+  bool is_array() const noexcept { return type_ == Type::Array; }
+  bool is_string() const noexcept { return type_ == Type::String; }
+
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const {
+    return type_ == Type::Double ? std::int64_t(double_) : int_;
+  }
+  double as_double() const {
+    return type_ == Type::Int ? double(int_) : double_;
+  }
+  const std::string& as_string() const { return string_; }
+
+  // ---- object access ---------------------------------------------------------
+  /// Inserts or overwrites a member (insertion order preserved).
+  Value& set(std::string key, Value v);
+  /// Member lookup; nullptr when absent (or not an object).
+  const Value* find(std::string_view key) const;
+  Value* find(std::string_view key);
+  /// Dotted-path lookup: "cpu.server" descends two object levels.
+  const Value* find_path(std::string_view dotted) const;
+  const std::vector<Member>& members() const noexcept { return members_; }
+
+  // ---- array access ----------------------------------------------------------
+  Value& push_back(Value v);
+  const std::vector<Value>& items() const noexcept { return items_; }
+  std::size_t size() const noexcept {
+    return type_ == Type::Array ? items_.size() : members_.size();
+  }
+
+  /// Serializes deterministically. `indent` < 0 yields compact one-line
+  /// output; otherwise pretty-printed with that indent step.
+  std::string dump(int indent = 2) const;
+
+  /// Strict-enough recursive-descent parse of UTF-8 JSON text. Returns
+  /// nullopt (with an error description in `*error` when given) on
+  /// malformed input, including NaN/Inf which JSON cannot carry.
+  static std::optional<Value> parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Member> members_;  ///< Object
+  std::vector<Value> items_;     ///< Array
+};
+
+/// Writes `v.dump()` to `path` (trailing newline added). Returns false on
+/// I/O failure.
+bool write_file(const Value& v, const std::string& path);
+
+}  // namespace ncache::json

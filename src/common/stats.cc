@@ -46,8 +46,12 @@ double LatencyHistogram::mean_ns() const noexcept {
 
 std::uint64_t LatencyHistogram::quantile_ns(double q) const noexcept {
   if (count_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  std::uint64_t target = static_cast<std::uint64_t>(q * double(count_));
+  if (q <= 0.0) return min_ns();
+  if (q >= 1.0) return max_ns();
+  // Rank of the requested sample, 1-based; q*count rounds up so that
+  // e.g. q=0.5 over 2 samples lands on the first, not the zeroth.
+  std::uint64_t target =
+      std::max<std::uint64_t>(1, std::uint64_t(std::ceil(q * double(count_))));
   std::uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[i];

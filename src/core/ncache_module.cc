@@ -109,4 +109,20 @@ bool NCacheModule::egress_filter(proto::Frame& frame) {
   return true;
 }
 
+void NCacheModule::register_metrics(MetricRegistry& registry,
+                                    const std::string& node) {
+  registry.counter(node, "ncache.frames_substituted",
+                   [this] { return stats_.frames_substituted; });
+  registry.counter(node, "ncache.keys_substituted",
+                   [this] { return stats_.keys_substituted; });
+  registry.counter(node, "ncache.substitution_misses",
+                   [this] { return stats_.substitution_misses; });
+  registry.counter(node, "ncache.frames_passed",
+                   [this] { return stats_.frames_passed; });
+  registry.counter(node, "ncache.second_level_hits",
+                   [this] { return stats_.second_level_hits; });
+  registry.on_reset([this] { reset_stats(); });
+  cache_.register_metrics(registry, node, "ncache.cache");
+}
+
 }  // namespace ncache::core

@@ -63,6 +63,10 @@ class NCacheModule {
   const ModuleStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = ModuleStats{}; }
 
+  /// Publishes ncache.* module counters (and the underlying cache's
+  /// counters/gauges) under `node`.
+  void register_metrics(MetricRegistry& registry, const std::string& node);
+
  private:
   proto::NetworkStack& stack_;
   NetCentricCache cache_;

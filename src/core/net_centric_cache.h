@@ -27,6 +27,7 @@
 #include <unordered_map>
 
 #include "common/intrusive_list.h"
+#include "common/metrics.h"
 #include "netbuf/cache_key.h"
 #include "netbuf/msg_buffer.h"
 #include "netbuf/net_buffer.h"
@@ -100,6 +101,11 @@ class NetCentricCache {
 
   /// Drops everything (tests / reconfiguration).
   void clear();
+
+  /// Publishes <prefix>.* counters plus occupancy gauges under `node` and
+  /// hooks reset_stats() into the registry reset.
+  void register_metrics(MetricRegistry& registry, const std::string& node,
+                        const std::string& prefix);
 
  private:
   struct Chunk : ListHook {

@@ -27,6 +27,10 @@
 #include "iscsi/initiator.h"
 #include "netbuf/msg_buffer.h"
 
+namespace ncache {
+class MetricRegistry;
+}
+
 namespace ncache::fs {
 
 struct BufferCacheStats {
@@ -100,6 +104,10 @@ class BufferCache {
 
   const BufferCacheStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = BufferCacheStats{}; }
+
+  /// Publishes fscache.* counters under `node` and hooks reset_stats()
+  /// into the registry reset.
+  void register_metrics(MetricRegistry& registry, const std::string& node);
 
  private:
   Task<void> ensure_space(std::size_t incoming);

@@ -1,11 +1,11 @@
 #include "http/khttpd.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace ncache::http {
 
 using core::PassMode;
-using netbuf::CopyClass;
 using netbuf::MsgBuffer;
 
 KHttpd::KHttpd(proto::NetworkStack& stack, fs::SimpleFs& fs, Config config,
@@ -22,12 +22,29 @@ void KHttpd::start() {
   });
 }
 
+void KHttpd::register_metrics(MetricRegistry& registry,
+                              const std::string& node) {
+  registry.counter(node, "http.requests", [this] { return stats_.requests; });
+  registry.counter(node, "http.responses_200",
+                   [this] { return stats_.responses_200; });
+  registry.counter(node, "http.responses_404",
+                   [this] { return stats_.responses_404; });
+  registry.counter(node, "http.responses_400",
+                   [this] { return stats_.responses_400; });
+  registry.bytes(node, "http.body_bytes",
+                 [this] { return stats_.body_bytes; });
+  registry.counter(node, "http.connections",
+                   [this] { return stats_.connections; });
+  registry.on_reset([this] { reset_stats(); });
+}
+
 void KHttpd::on_accept(proto::TcpConnectionPtr conn) {
   ++stats_.connections;
   stack_.cpu().charge(stack_.costs().tcp_connection_ns);
   auto c = std::make_shared<Connection>(*this, std::move(conn));
-  c->conn->set_data_handler([c](MsgBuffer m) { c->on_data(std::move(m)); });
-  c->conn->set_on_close([this, c] { std::erase(connections_, c); });
+  c->sock.conn().set_data_handler(
+      [c](MsgBuffer m) { c->on_data(std::move(m)); });
+  c->sock.conn().set_on_close([this, c] { std::erase(connections_, c); });
   connections_.push_back(std::move(c));
 }
 
@@ -50,8 +67,7 @@ void KHttpd::Connection::on_data(MsgBuffer m) {
     if (sp1 == std::string::npos || sp2 == std::string::npos ||
         head.substr(0, sp1) != "GET") {
       ++server.stats_.responses_400;
-      conn->send(MsgBuffer::from_string(
-          "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n"));
+      sock.send_meta("HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n");
       continue;
     }
     if (head.find("Connection: close") != std::string::npos) {
@@ -76,7 +92,7 @@ Task<void> KHttpd::Connection::serve_and_continue(std::string path) {
   busy = false;
   if (close_after && pipeline.empty()) {
     server.stack_.cpu().charge(server.stack_.costs().tcp_connection_ns / 2);
-    conn->close();
+    sock.conn().close();
     co_return;
   }
   pump();
@@ -109,15 +125,13 @@ Task<void> KHttpd::Connection::serve(std::string path) {
   auto ino = co_await server.resolve(path);
   if (!ino) {
     ++server.stats_.responses_404;
-    conn->send(MsgBuffer::from_string(
-        "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"));
+    sock.send_meta("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n");
     co_return;
   }
   fs::FileAttr attr = co_await server.fs_.getattr(*ino);
   if (attr.type != fs::InodeType::File) {
     ++server.stats_.responses_404;
-    conn->send(MsgBuffer::from_string(
-        "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"));
+    sock.send_meta("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n");
     co_return;
   }
 
@@ -126,35 +140,21 @@ Task<void> KHttpd::Connection::serve(std::string path) {
                      std::to_string(attr.size) + "\r\n\r\n";
   // Reply headers pass through the normal (metadata) path (§4.3: "for
   // packets carrying HTTP reply headers, NCache lets them go through").
-  conn->send(stack.copier().copy_bytes_in(as_bytes(head),
-                                          CopyClass::Metadata));
+  sock.send_meta(head);
 
   // sendfile loop: move the body chunk-by-chunk from the fs cache to the
-  // socket.
+  // socket. One boundary crossing per chunk; the socket's PassMode picks
+  // the semantics (one physical copy / logical keys / junk — Table 2).
   std::uint64_t off = 0;
   while (off < attr.size) {
     auto want = std::uint32_t(std::min<std::uint64_t>(
         server.config_.chunk_bytes, attr.size - off));
     MsgBuffer data = co_await server.fs_.read(*ino, off, want);
     if (data.size() != want) {
-      conn->reset();  // truncated file mid-response: abort the connection
+      sock.conn().reset();  // truncated file mid-response: abort
       co_return;
     }
-    MsgBuffer out;
-    switch (server.config_.mode) {
-      case PassMode::Original:
-        // sendfile(): exactly one copy, page cache -> socket buffers.
-        out = stack.copier().copy_message(data, CopyClass::RegularData);
-        break;
-      case PassMode::NCache:
-        out = stack.copier().logical_copy(data);
-        break;
-      case PassMode::Baseline:
-        out = MsgBuffer::junk(std::uint32_t(data.size()));
-        break;
-    }
-    server.stats_.body_bytes += out.size();
-    conn->send(std::move(out));
+    server.stats_.body_bytes += sock.send_data(data, sock::Via::Sendfile);
     off += want;
   }
 }

@@ -18,6 +18,11 @@
 #include "core/pass_mode.h"
 #include "fs/simple_fs.h"
 #include "proto/stack.h"
+#include "sock/socket.h"
+
+namespace ncache {
+class MetricRegistry;
+}
 
 namespace ncache::http {
 
@@ -48,13 +53,19 @@ class KHttpd {
   void reset_stats() noexcept { stats_ = KHttpdStats{}; }
   core::PassMode mode() const noexcept { return config_.mode; }
 
+  /// Publishes http.* request counters under `node` and hooks reset_stats()
+  /// into the registry reset.
+  void register_metrics(MetricRegistry& registry, const std::string& node);
+
  private:
   struct Connection : std::enable_shared_from_this<Connection> {
     Connection(KHttpd& s, proto::TcpConnectionPtr c)
-        : server(s), conn(std::move(c)) {}
+        : server(s), sock(s.stack_, s.config_.mode, std::move(c)) {}
 
     KHttpd& server;
-    proto::TcpConnectionPtr conn;
+    /// The extended socket interface (§4): all response egress — headers
+    /// via the metadata path, body via the mode seam — goes through here.
+    sock::TcpSocket sock;
     std::string inbox;        ///< accumulated request bytes
     bool busy = false;        ///< a request is being served
     bool close_after = false; ///< client sent Connection: close

@@ -2,7 +2,28 @@
 
 #include <cstring>
 
+#include "common/metrics.h"
+
 namespace ncache::netbuf {
+
+void CopyEngine::register_metrics(MetricRegistry& registry,
+                                  const std::string& node) {
+  registry.counter(node, "copy.data_ops", [this] { return stats_.data_copy_ops; });
+  registry.bytes(node, "copy.data_bytes",
+                 [this] { return stats_.data_copy_bytes; });
+  registry.counter(node, "copy.meta_ops", [this] { return stats_.meta_copy_ops; });
+  registry.bytes(node, "copy.meta_bytes",
+                 [this] { return stats_.meta_copy_bytes; });
+  registry.counter(node, "copy.logical_ops",
+                   [this] { return stats_.logical_copy_ops; });
+  registry.counter(node, "copy.logical_keys",
+                   [this] { return stats_.logical_copy_keys; });
+  registry.counter(node, "copy.checksum_ops",
+                   [this] { return stats_.checksum_ops; });
+  registry.bytes(node, "copy.checksum_bytes",
+                 [this] { return stats_.checksum_bytes; });
+  registry.on_reset([this] { reset_stats(); });
+}
 
 void CopyEngine::account(std::size_t bytes, CopyClass cls) {
   if (cls == CopyClass::RegularData) {

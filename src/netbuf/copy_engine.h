@@ -18,6 +18,10 @@
 #include "sim/cost_model.h"
 #include "sim/cpu_model.h"
 
+namespace ncache {
+class MetricRegistry;
+}
+
 namespace ncache::netbuf {
 
 enum class CopyClass : std::uint8_t {
@@ -80,6 +84,10 @@ class CopyEngine {
 
   const CopyStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_.reset(); }
+
+  /// Publishes copy.* counters under `node` and hooks reset_stats() into
+  /// the registry reset.
+  void register_metrics(MetricRegistry& registry, const std::string& node);
 
   sim::CpuModel& cpu() noexcept { return cpu_; }
   const sim::CostModel& costs() const noexcept { return costs_; }

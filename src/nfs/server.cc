@@ -1,16 +1,20 @@
 #include "nfs/server.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace ncache::nfs {
 
-using netbuf::CopyClass;
 using netbuf::FhoKey;
 using netbuf::MsgBuffer;
 
 NfsServer::NfsServer(proto::NetworkStack& stack, fs::SimpleFs& fs,
                      Config config, core::NCacheModule* ncache)
-    : stack_(stack), fs_(fs), config_(config), ncache_(ncache) {
+    : stack_(stack),
+      fs_(fs),
+      config_(config),
+      ncache_(ncache),
+      sock_(stack, config.mode, config.port) {
   if (config_.mode == ServerMode::NCache && !ncache_) {
     throw std::invalid_argument("NfsServer: NCache mode requires the module");
   }
@@ -19,12 +23,10 @@ NfsServer::NfsServer(proto::NetworkStack& stack, fs::SimpleFs& fs,
 void NfsServer::start() {
   if (running_) return;
   running_ = true;
-  stack_.udp_bind(config_.port,
-                  [this](proto::Ipv4Addr sip, std::uint16_t sport,
-                         proto::Ipv4Addr dip, std::uint16_t dport,
-                         MsgBuffer m) {
-                    on_datagram(sip, sport, dip, dport, std::move(m));
-                  });
+  sock_.bind([this](proto::Ipv4Addr sip, std::uint16_t sport,
+                    proto::Ipv4Addr dip, std::uint16_t dport, MsgBuffer m) {
+    on_datagram(sip, sport, dip, dport, std::move(m));
+  });
   for (int i = 0; i < config_.daemons; ++i) {
     ++live_daemons_;
     daemon_loop(i).detach();
@@ -34,7 +36,7 @@ void NfsServer::start() {
 void NfsServer::stop() {
   if (!running_) return;
   running_ = false;
-  stack_.udp_unbind(config_.port);
+  sock_.unbind();
   // Wake idle daemons so they can exit.
   while (!waiting_.empty()) {
     auto w = std::move(waiting_.front());
@@ -90,24 +92,41 @@ Task<void> NfsServer::daemon_loop(int /*index*/) {
   --live_daemons_;
 }
 
+void NfsServer::register_metrics(MetricRegistry& registry,
+                                 const std::string& node) {
+  registry.counter(node, "nfs.requests", [this] { return stats_.requests; });
+  registry.counter(node, "nfs.reads", [this] { return stats_.reads; });
+  registry.counter(node, "nfs.writes", [this] { return stats_.writes; });
+  registry.counter(node, "nfs.metadata_ops",
+                   [this] { return stats_.metadata_ops; });
+  registry.bytes(node, "nfs.read_bytes", [this] { return stats_.read_bytes; });
+  registry.bytes(node, "nfs.write_bytes",
+                 [this] { return stats_.write_bytes; });
+  registry.counter(node, "nfs.errors", [this] { return stats_.errors; });
+  registry.counter(node, "nfs.unaligned_writes",
+                   [this] { return stats_.unaligned_writes; });
+  registry.gauge(node, "nfs.queue_hwm",
+                 [this] { return double(stats_.queue_hwm); });
+  registry.on_reset([this] { reset_stats(); });
+}
+
 Task<Fattr> NfsServer::fattr_of(std::uint64_t fh) {
   fs::FileAttr a = co_await fs_.getattr(std::uint32_t(fh));
   co_return Fattr{a.type, a.size, a.nlink};
 }
 
-void NfsServer::send_reply(const Request& req, std::uint32_t xid,
-                           Status status, std::span<const std::byte> body,
-                           MsgBuffer payload) {
+std::vector<std::byte> NfsServer::reply_head(std::uint32_t xid, Status status,
+                                             std::span<const std::byte> body) {
   std::vector<std::byte> head;
   ByteWriter w(head);
   ReplyHeader{xid, status}.serialize(w);
   w.bytes(body);
-  // Reply headers are metadata: built in the daemon and copied into the
-  // stack as usual.
-  MsgBuffer out = stack_.copier().copy_bytes_in(head, CopyClass::Metadata);
-  out.append(std::move(payload));
-  stack_.udp_send(req.server_ip, config_.port, req.client_ip, req.client_port,
-                  std::move(out));
+  return head;
+}
+
+void NfsServer::send_reply(const Request& req, std::uint32_t xid,
+                           Status status, std::span<const std::byte> body) {
+  sock_.send_meta(reply_endpoint(req), reply_head(xid, status, body));
 }
 
 Task<void> NfsServer::handle(Request req) {
@@ -163,31 +182,17 @@ Task<void> NfsServer::do_read(const Request& req, const CallHeader& call,
                                      args.count);
   Fattr attr = co_await fattr_of(args.fh);
 
-  MsgBuffer payload;
-  auto& copier = stack_.copier();
-  switch (config_.mode) {
-    case ServerMode::Original: {
-      // Copy 1: buffer cache -> daemon's reply buffer (the read()
-      // interface). Copy 2: reply buffer -> network stack (sendmsg).
-      MsgBuffer staged = copier.copy_message(data, CopyClass::RegularData);
-      payload = copier.copy_message(staged, CopyClass::RegularData);
-      break;
-    }
-    case ServerMode::NCache:
-      // Both boundaries move only keys (§4.1's modified interfaces).
-      payload = copier.logical_copy(copier.logical_copy(data));
-      break;
-    case ServerMode::Baseline:
-      payload = MsgBuffer::junk(std::uint32_t(data.size()));
-      break;
-  }
-  stats_.read_bytes += payload.size();
-
   std::vector<std::byte> reply_body;
   ByteWriter w(reply_body);
   attr.serialize(w);
-  w.u32(std::uint32_t(payload.size()));
-  send_reply(req, call.xid, Status::Ok, reply_body, std::move(payload));
+  w.u32(std::uint32_t(data.size()));
+  // The NFS daemon relays with read() + sendmsg(): two module boundaries.
+  // The socket's PassMode decides what crosses them — physical copies,
+  // logical keys, or junk (Table 2's read-path counts).
+  stats_.read_bytes +=
+      sock_.send_data(reply_endpoint(req),
+                      reply_head(call.xid, Status::Ok, reply_body), data,
+                      sock::Via::ReadSendmsg);
 }
 
 Task<void> NfsServer::do_write(const Request& req, const CallHeader& call,
@@ -205,12 +210,11 @@ Task<void> NfsServer::do_write(const Request& req, const CallHeader& call,
   MsgBuffer wire_payload = msg.slice(header_total, args.count);
 
   MsgBuffer content;
-  auto& copier = stack_.copier();
   switch (config_.mode) {
     case ServerMode::Original:
       // The single write-path copy: socket buffers -> buffer cache page
       // (Table 2, "overwritten" = 1).
-      content = copier.copy_message(wire_payload, CopyClass::RegularData);
+      content = sock_.receive_copied(wire_payload);
       break;
     case ServerMode::NCache: {
       bool aligned = args.offset % fs::kBlockSize == 0 &&
@@ -225,7 +229,7 @@ Task<void> NfsServer::do_write(const Request& req, const CallHeader& call,
         }
       } else {
         ++stats_.unaligned_writes;
-        content = copier.copy_message(wire_payload, CopyClass::RegularData);
+        content = sock_.receive_copied(wire_payload);
       }
       break;
     }

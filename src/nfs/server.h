@@ -23,6 +23,11 @@
 #include "fs/simple_fs.h"
 #include "nfs/protocol.h"
 #include "proto/stack.h"
+#include "sock/socket.h"
+
+namespace ncache {
+class MetricRegistry;
+}
 
 namespace ncache::nfs {
 
@@ -64,6 +69,10 @@ class NfsServer {
   const NfsServerStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = NfsServerStats{}; }
 
+  /// Publishes nfs.* request counters under `node` and hooks reset_stats()
+  /// into the registry reset.
+  void register_metrics(MetricRegistry& registry, const std::string& node);
+
  private:
   struct Request {
     proto::Ipv4Addr client_ip;
@@ -86,15 +95,23 @@ class NfsServer {
   Task<void> do_metadata(const Request& req, const CallHeader& call,
                          ByteReader& body);
 
+  /// Serialized RPC reply header + body (metadata bytes).
+  static std::vector<std::byte> reply_head(std::uint32_t xid, Status status,
+                                           std::span<const std::byte> body);
+  sock::UdpSocket::Endpoint reply_endpoint(const Request& req) const {
+    return {req.server_ip, req.client_ip, req.client_port};
+  }
   void send_reply(const Request& req, std::uint32_t xid, Status status,
-                  std::span<const std::byte> body,
-                  netbuf::MsgBuffer payload = {});
+                  std::span<const std::byte> body);
   Task<Fattr> fattr_of(std::uint64_t fh);
 
   proto::NetworkStack& stack_;
   fs::SimpleFs& fs_;
   Config config_;
   core::NCacheModule* ncache_;
+  /// The extended socket interface (§4): the only egress path for replies;
+  /// all regular-data movement semantics live behind it.
+  sock::UdpSocket sock_;
 
   bool running_ = false;
   std::deque<Request> queue_;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace ncache::proto {
 
@@ -69,6 +70,30 @@ void Nic::deliver(Frame frame) {
       return;
     }
     if (rx_) rx_(std::move(*f));
+  });
+}
+
+void Nic::register_metrics(MetricRegistry& registry, const std::string& node,
+                           const std::string& prefix) {
+  registry.bytes(node, prefix + ".tx.bytes",
+                 [this] { return tx_meter_.bytes(); });
+  registry.bytes(node, prefix + ".rx.bytes",
+                 [this] { return rx_meter_.bytes(); });
+  registry.counter(node, prefix + ".tx.frames",
+                   [this] { return tx_frames_.value(); });
+  registry.counter(node, prefix + ".rx.frames",
+                   [this] { return rx_frames_.value(); });
+  registry.counter(node, prefix + ".dropped", [this] { return dropped_; });
+  // The tx link attaches when the switch connects; sample through the
+  // pointer so registration order doesn't matter.
+  registry.gauge(node, prefix + ".tx.utilization",
+                 [this] { return tx_ ? tx_->utilization() : 0.0; });
+  registry.on_reset([this] {
+    tx_meter_.reset();
+    rx_meter_.reset();
+    tx_frames_.reset();
+    rx_frames_.reset();
+    if (tx_) tx_->reset_stats();
   });
 }
 

@@ -17,6 +17,10 @@
 #include "sim/cpu_model.h"
 #include "sim/link.h"
 
+namespace ncache {
+class MetricRegistry;
+}
+
 namespace ncache::proto {
 
 class Nic {
@@ -65,6 +69,12 @@ class Nic {
   std::uint64_t dropped() const noexcept { return dropped_; }
 
   sim::Link* tx_link() noexcept { return tx_; }
+
+  /// Publishes <prefix>.tx/.rx meters and frame counters under `node`,
+  /// plus the attached tx link's utilization; hooks meter resets into the
+  /// registry reset.
+  void register_metrics(MetricRegistry& registry, const std::string& node,
+                        const std::string& prefix);
 
  private:
   sim::EventLoop& loop_;

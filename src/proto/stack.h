@@ -22,6 +22,10 @@
 #include "proto/tcp.h"
 #include "sim/cost_model.h"
 
+namespace ncache {
+class MetricRegistry;
+}
+
 namespace ncache::proto {
 
 /// Testbed-wide IP -> MAC resolution (static ARP table; the testbed
@@ -91,6 +95,11 @@ class NetworkStack {
   void set_ingress_filter(Nic::FrameFilter f);
 
   const StackStats& stats() const noexcept { return stats_; }
+
+  /// Publishes udp.*/tcp.* stack counters and every NIC's meters (as
+  /// nicK.*) under `node`.
+  void register_metrics(MetricRegistry& registry, const std::string& node);
+
   sim::EventLoop& loop() noexcept { return loop_; }
   sim::CpuModel& cpu() noexcept { return cpu_; }
   netbuf::CopyEngine& copier() noexcept { return copier_; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace ncache::sim {
 
 void CpuModel::submit(Duration cost, std::function<void()> done) {
@@ -39,6 +41,15 @@ void CpuModel::reset_stats() noexcept {
   // If the CPU is mid-item, the remaining in-flight work belongs to the new
   // window.
   if (free_at_ > window_start_) busy_ns_ = free_at_ - window_start_;
+}
+
+void CpuModel::register_metrics(MetricRegistry& registry,
+                                const std::string& node) {
+  registry.gauge(node, "cpu.utilization", [this] { return utilization(); });
+  registry.counter(node, "cpu.busy_ns",
+                   [this] { return std::uint64_t(busy_ns_); });
+  registry.counter(node, "cpu.items", [this] { return items_; });
+  registry.on_reset([this] { reset_stats(); });
 }
 
 }  // namespace ncache::sim

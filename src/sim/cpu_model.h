@@ -13,6 +13,10 @@
 #include "common/task.h"
 #include "sim/event_loop.h"
 
+namespace ncache {
+class MetricRegistry;
+}
+
 namespace ncache::sim {
 
 class CpuModel {
@@ -59,6 +63,10 @@ class CpuModel {
 
   /// Starts a fresh measurement window at the current simulated time.
   void reset_stats() noexcept;
+
+  /// Publishes cpu.utilization / cpu.busy_ns / cpu.items under `node` and
+  /// hooks reset_stats() into the registry's measurement-window reset.
+  void register_metrics(MetricRegistry& registry, const std::string& node);
 
  private:
   EventLoop& loop_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace ncache::sim {
 
 Duration Link::tx_time(std::size_t bytes) const noexcept {
@@ -43,6 +45,16 @@ void Link::reset_stats() noexcept {
   payload_bytes_ = 0;
   window_start_ = loop_.now();
   if (idle_at_ > window_start_) busy_ns_ = idle_at_ - window_start_;
+}
+
+void Link::register_metrics(MetricRegistry& registry, const std::string& node,
+                            const std::string& prefix) {
+  registry.gauge(node, prefix + ".utilization",
+                 [this] { return utilization(); });
+  registry.counter(node, prefix + ".frames", [this] { return frames_; });
+  registry.bytes(node, prefix + ".payload_bytes",
+                 [this] { return payload_bytes_; });
+  registry.on_reset([this] { reset_stats(); });
 }
 
 }  // namespace ncache::sim

@@ -12,6 +12,10 @@
 #include "sim/cost_model.h"
 #include "sim/event_loop.h"
 
+namespace ncache {
+class MetricRegistry;
+}
+
 namespace ncache::sim {
 
 class Link {
@@ -39,6 +43,11 @@ class Link {
 
   /// Serialization time for a frame of `bytes` payload.
   Duration tx_time(std::size_t bytes) const noexcept;
+
+  /// Publishes <prefix>.utilization / .frames / .payload_bytes under `node`
+  /// and hooks reset_stats() into the registry reset.
+  void register_metrics(MetricRegistry& registry, const std::string& node,
+                        const std::string& prefix);
 
   const std::string& name() const noexcept { return name_; }
 

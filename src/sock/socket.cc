@@ -1,0 +1,156 @@
+#include "sock/socket.h"
+
+#include "common/bytes.h"
+
+namespace ncache::sock {
+
+using netbuf::CopyClass;
+using netbuf::MsgBuffer;
+
+MsgBuffer Socket::receive_copied(const MsgBuffer& wire) {
+  return stack_.copier().copy_message(wire, CopyClass::RegularData);
+}
+
+MsgBuffer Socket::prepare_meta(std::span<const std::byte> head) {
+  return stack_.copier().copy_bytes_in(head, CopyClass::Metadata);
+}
+
+MsgBuffer Socket::prepare_copied(const MsgBuffer& data, Via via) {
+  auto& copier = stack_.copier();
+  if (via == Via::ReadSendmsg) {
+    // Copy 1: buffer cache -> daemon buffer (read()). Copy 2: daemon
+    // buffer -> socket (sendmsg()). Table 2's NFS read counts.
+    MsgBuffer staged = copier.copy_message(data, CopyClass::RegularData);
+    return copier.copy_message(staged, CopyClass::RegularData);
+  }
+  // sendfile(): page cache -> socket, exactly one copy (Table 2 kHTTPd).
+  return copier.copy_message(data, CopyClass::RegularData);
+}
+
+MsgBuffer Socket::prepare_chain(const MsgBuffer& chain, Via via) {
+  auto& copier = stack_.copier();
+  if (via == Via::ReadSendmsg) {
+    // Both boundaries move only keys (§4.1's modified interfaces).
+    return copier.logical_copy(copier.logical_copy(chain));
+  }
+  return copier.logical_copy(chain);
+}
+
+MsgBuffer Socket::prepare_data(const MsgBuffer& data, Via via) {
+  switch (mode_) {
+    case PassMode::Original:
+      return prepare_copied(data, via);
+    case PassMode::NCache:
+      return prepare_chain(data, via);
+    case PassMode::Baseline:
+      break;
+  }
+  return MsgBuffer::junk(std::uint32_t(data.size()));
+}
+
+// ---- UdpSocket ---------------------------------------------------------------
+
+void UdpSocket::bind(Handler handler) {
+  if (bound_) return;
+  stack_.udp_bind(port_, std::move(handler));
+  bound_ = true;
+}
+
+void UdpSocket::unbind() {
+  if (!bound_) return;
+  stack_.udp_unbind(port_);
+  bound_ = false;
+}
+
+void UdpSocket::send_datagram(const Endpoint& ep, MsgBuffer msg) {
+  stack_.udp_send(ep.local_ip, port_, ep.remote_ip, ep.remote_port,
+                  std::move(msg));
+}
+
+void UdpSocket::send_meta(const Endpoint& ep,
+                          std::span<const std::byte> head) {
+  send_datagram(ep, prepare_meta(head));
+}
+
+std::size_t UdpSocket::send_copied(const Endpoint& ep,
+                                   std::span<const std::byte> head,
+                                   const MsgBuffer& data, Via via) {
+  MsgBuffer out = prepare_meta(head);
+  MsgBuffer payload = prepare_copied(data, via);
+  std::size_t n = payload.size();
+  out.append(std::move(payload));
+  send_datagram(ep, std::move(out));
+  return n;
+}
+
+std::size_t UdpSocket::send_chain(const Endpoint& ep,
+                                  std::span<const std::byte> head,
+                                  const MsgBuffer& chain, Via via) {
+  MsgBuffer out = prepare_meta(head);
+  MsgBuffer payload = prepare_chain(chain, via);
+  std::size_t n = payload.size();
+  out.append(std::move(payload));
+  send_datagram(ep, std::move(out));
+  return n;
+}
+
+std::size_t UdpSocket::send_key(const Endpoint& ep,
+                                std::span<const std::byte> head,
+                                netbuf::CacheKey key, std::uint32_t len,
+                                Via via) {
+  return send_chain(ep, head, MsgBuffer::from_key(key, 0, len), via);
+}
+
+std::size_t UdpSocket::send_junk(const Endpoint& ep,
+                                 std::span<const std::byte> head,
+                                 std::uint32_t len) {
+  MsgBuffer out = prepare_meta(head);
+  out.append(MsgBuffer::junk(len));
+  send_datagram(ep, std::move(out));
+  return len;
+}
+
+std::size_t UdpSocket::send_data(const Endpoint& ep,
+                                 std::span<const std::byte> head,
+                                 const MsgBuffer& data, Via via) {
+  MsgBuffer out = prepare_meta(head);
+  MsgBuffer payload = prepare_data(data, via);
+  std::size_t n = payload.size();
+  out.append(std::move(payload));
+  send_datagram(ep, std::move(out));
+  return n;
+}
+
+// ---- TcpSocket ---------------------------------------------------------------
+
+void TcpSocket::send_meta(std::string_view head) {
+  conn_->send(prepare_meta(as_bytes(head)));
+}
+
+std::size_t TcpSocket::send_copied(const MsgBuffer& data, Via via) {
+  MsgBuffer out = prepare_copied(data, via);
+  std::size_t n = out.size();
+  conn_->send(std::move(out));
+  return n;
+}
+
+std::size_t TcpSocket::send_chain(const MsgBuffer& chain, Via via) {
+  MsgBuffer out = prepare_chain(chain, via);
+  std::size_t n = out.size();
+  conn_->send(std::move(out));
+  return n;
+}
+
+std::size_t TcpSocket::send_junk(std::uint32_t len) {
+  conn_->send(MsgBuffer::junk(len));
+  return len;
+}
+
+std::size_t TcpSocket::send_data(const MsgBuffer& data, Via via) {
+  MsgBuffer out = prepare_data(data, via);
+  std::size_t n = out.size();
+  conn_->send(std::move(out));
+  return n;
+}
+
+}  // namespace ncache::sock

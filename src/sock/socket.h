@@ -1,0 +1,142 @@
+// The paper's extended socket interface (§4): the one seam where a
+// pass-through server chooses its data-movement semantics.
+//
+// Regular-data egress has three faces, matching the three server
+// configurations:
+//
+//   * send_copied — the copy-semantics path: every module boundary the
+//     payload crosses is a physical CopyEngine copy (Original mode);
+//   * send_chain / send_key — the logical-copy path: an MsgBuffer chain
+//     (or a bare CacheKey) is handed straight to UDP/TCP, each boundary
+//     charging only the per-key logical-copy cost (NCache mode);
+//   * send_junk — the idealized zero-copy yardstick: payload elided
+//     (Baseline mode).
+//
+// send_data() dispatches among them by the socket's PassMode — this is
+// Table 1's "<150 LoC at module boundaries": the NFS server and kHTTPd
+// call send_data() and never touch CopyEngine or the raw stack send
+// primitives for payload.
+//
+// `Via` states how many module boundaries the payload crosses before the
+// wire: a daemon relaying with read()+sendmsg() crosses two (buffer cache
+// -> daemon buffer -> socket), an in-kernel sendfile() crosses one. The
+// physical copy counts (Table 2) and the logical-copy counts both follow
+// from it.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "core/pass_mode.h"
+#include "netbuf/cache_key.h"
+#include "netbuf/msg_buffer.h"
+#include "proto/stack.h"
+
+namespace ncache::sock {
+
+using core::PassMode;
+
+enum class Via {
+  ReadSendmsg,  ///< daemon relay: read() then sendmsg() — two crossings
+  Sendfile,     ///< in-kernel splice: one crossing
+};
+
+/// Mode-aware socket base: holds the stack and the PassMode, and owns the
+/// per-boundary payload preparation shared by UDP and TCP.
+class Socket {
+ public:
+  Socket(proto::NetworkStack& stack, PassMode mode)
+      : stack_(stack), mode_(mode) {}
+
+  PassMode mode() const noexcept { return mode_; }
+  proto::NetworkStack& stack() noexcept { return stack_; }
+
+  /// Ingress copy-semantics path: socket buffer -> application buffer,
+  /// one physical copy (the NFS WRITE "overwritten = 1" count).
+  netbuf::MsgBuffer receive_copied(const netbuf::MsgBuffer& wire);
+
+ protected:
+  /// Headers/serialized control data: one counted metadata copy into the
+  /// socket (headers are interpreted, never substituted — §3.3).
+  netbuf::MsgBuffer prepare_meta(std::span<const std::byte> head);
+  netbuf::MsgBuffer prepare_copied(const netbuf::MsgBuffer& data, Via via);
+  netbuf::MsgBuffer prepare_chain(const netbuf::MsgBuffer& chain, Via via);
+  /// The mode seam: dispatches to copied/chain/junk by PassMode.
+  netbuf::MsgBuffer prepare_data(const netbuf::MsgBuffer& data, Via via);
+
+  proto::NetworkStack& stack_;
+  PassMode mode_;
+};
+
+/// Extended UDP socket (NFS server side). Replies are single datagrams:
+/// a metadata header plus an optional regular-data payload.
+class UdpSocket : public Socket {
+ public:
+  /// Where a datagram goes — and which local NIC it leaves from (replies
+  /// bind to the NIC the request arrived on).
+  struct Endpoint {
+    proto::Ipv4Addr local_ip{};
+    proto::Ipv4Addr remote_ip{};
+    std::uint16_t remote_port = 0;
+  };
+  using Handler = proto::NetworkStack::UdpHandler;
+
+  UdpSocket(proto::NetworkStack& stack, PassMode mode, std::uint16_t port)
+      : Socket(stack, mode), port_(port) {}
+  ~UdpSocket() { unbind(); }
+
+  std::uint16_t port() const noexcept { return port_; }
+  bool bound() const noexcept { return bound_; }
+  void bind(Handler handler);
+  void unbind();
+
+  /// Metadata-only datagram (replies without regular data).
+  void send_meta(const Endpoint& ep, std::span<const std::byte> head);
+
+  // Regular-data datagrams: header + payload. All return the payload's
+  // logical size (what the receiver sees), for server byte accounting.
+  std::size_t send_copied(const Endpoint& ep, std::span<const std::byte> head,
+                          const netbuf::MsgBuffer& data, Via via);
+  std::size_t send_chain(const Endpoint& ep, std::span<const std::byte> head,
+                         const netbuf::MsgBuffer& chain, Via via);
+  std::size_t send_key(const Endpoint& ep, std::span<const std::byte> head,
+                       netbuf::CacheKey key, std::uint32_t len, Via via);
+  std::size_t send_junk(const Endpoint& ep, std::span<const std::byte> head,
+                        std::uint32_t len);
+  /// The mode seam: Original -> send_copied, NCache -> send_chain,
+  /// Baseline -> send_junk.
+  std::size_t send_data(const Endpoint& ep, std::span<const std::byte> head,
+                        const netbuf::MsgBuffer& data, Via via);
+
+ private:
+  void send_datagram(const Endpoint& ep, netbuf::MsgBuffer msg);
+
+  std::uint16_t port_;
+  bool bound_ = false;
+};
+
+/// Extended TCP socket (kHTTPd side): wraps an accepted connection.
+/// Headers and body travel as separate sends (HTTP framing needs no
+/// trailing length fix-up).
+class TcpSocket : public Socket {
+ public:
+  TcpSocket(proto::NetworkStack& stack, PassMode mode,
+            proto::TcpConnectionPtr conn)
+      : Socket(stack, mode), conn_(std::move(conn)) {}
+
+  proto::TcpConnection& conn() noexcept { return *conn_; }
+
+  /// Response headers (200/400/404 lines): metadata path.
+  void send_meta(std::string_view head);
+
+  std::size_t send_copied(const netbuf::MsgBuffer& data, Via via);
+  std::size_t send_chain(const netbuf::MsgBuffer& chain, Via via);
+  std::size_t send_junk(std::uint32_t len);
+  /// The mode seam (see UdpSocket::send_data).
+  std::size_t send_data(const netbuf::MsgBuffer& data, Via via);
+
+ private:
+  proto::TcpConnectionPtr conn_;
+};
+
+}  // namespace ncache::sock

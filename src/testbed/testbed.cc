@@ -72,6 +72,21 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   fs_ = std::make_unique<fs::SimpleFs>(loop_, *initiator_,
                                        config_.fs_cache_blocks,
                                        config_.fs_readahead_blocks);
+
+  // Register every subsystem built above; the NFS server joins in
+  // start_nfs(), kHTTPd (attached externally) via its own
+  // register_metrics. Registration order fixes JSON export order.
+  server_->register_metrics(metrics_, "server");
+  storage_->register_metrics(metrics_, "storage");
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i]->register_metrics(metrics_, "client" + std::to_string(i));
+  }
+  store_->register_metrics(metrics_, "storage");
+  fs_->cache().register_metrics(metrics_, "server");
+  if (ncache_) ncache_->register_metrics(metrics_, "server");
+  if (wire_target_) {
+    wire_target_->cache().register_metrics(metrics_, "storage", "wire.cache");
+  }
 }
 
 void Testbed::start_base() {
@@ -92,6 +107,7 @@ void Testbed::start_nfs() {
   sc.daemons = config_.nfs_daemons;
   nfs_server_ = std::make_unique<nfs::NfsServer>(
       server_->stack, *fs_, sc, ncache_.get());
+  nfs_server_->register_metrics(metrics_, "server");
   nfs_server_->start();
 
   for (int i = 0; i < config_.client_count; ++i) {
@@ -102,44 +118,35 @@ void Testbed::start_nfs() {
 }
 
 void Testbed::reset_stats() {
-  storage_->cpu.reset_stats();
-  server_->cpu.reset_stats();
-  for (auto& c : clients_) c->cpu.reset_stats();
-  storage_->copier.reset_stats();
-  server_->copier.reset_stats();
-  for (auto& c : clients_) c->copier.reset_stats();
-  for (std::size_t n = 0; n < server_->stack.nic_count(); ++n) {
-    auto* link = server_->stack.nic(n).tx_link();
-    if (link) link->reset_stats();
-    server_->stack.nic(n).tx_meter().reset();
-    server_->stack.nic(n).rx_meter().reset();
-  }
-  if (nfs_server_) nfs_server_->reset_stats();
-  if (ncache_) ncache_->reset_stats();
-  store_->raid().reset_stats();
+  // Every subsystem registered a reset hook alongside its metrics; one
+  // fan-out restarts all measurement windows coherently.
+  metrics_.reset_all();
 }
 
 Testbed::Snapshot Testbed::snapshot(sim::Time window_start) const {
+  // A typed view over the registry: every field below is the registry
+  // value under the named (node, metric) label.
   Snapshot s;
   s.elapsed_s = double(loop_.now() - window_start) / 1e9;
-  s.server_cpu = server_->cpu.utilization();
-  s.storage_cpu = storage_->cpu.utilization();
-  for (const auto& c : clients_) {
-    s.client_cpu_max = std::max(s.client_cpu_max, c->cpu.utilization());
+  s.server_cpu = metrics_.gauge_value("server", "cpu.utilization");
+  s.storage_cpu = metrics_.gauge_value("storage", "cpu.utilization");
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    s.client_cpu_max =
+        std::max(s.client_cpu_max,
+                 metrics_.gauge_value("client" + std::to_string(i),
+                                      "cpu.utilization"));
   }
   for (std::size_t n = 0; n < server_->stack.nic_count(); ++n) {
-    auto& nic = const_cast<Node&>(*server_).stack.nic(n);
-    if (nic.tx_link()) {
-      s.server_link_util = std::max(s.server_link_util,
-                                    nic.tx_link()->utilization());
-    }
+    s.server_link_util = std::max(
+        s.server_link_util,
+        metrics_.gauge_value("server",
+                             "nic" + std::to_string(n) + ".tx.utilization"));
   }
-  s.server_data_copies = server_->copier.stats().data_copy_ops;
-  s.server_logical_copies = server_->copier.stats().logical_copy_ops;
-  if (nfs_server_) {
-    s.nfs_requests = nfs_server_->stats().requests;
-    s.read_bytes_served = nfs_server_->stats().read_bytes;
-  }
+  s.server_data_copies = metrics_.counter_value("server", "copy.data_ops");
+  s.server_logical_copies =
+      metrics_.counter_value("server", "copy.logical_ops");
+  s.nfs_requests = metrics_.counter_value("server", "nfs.requests");
+  s.read_bytes_served = metrics_.counter_value("server", "nfs.read_bytes");
   return s;
 }
 

@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "blockdev/block_store.h"
+#include "common/metrics.h"
 #include "core/ncache_module.h"
 #include "core/wire_target.h"
 #include "fs/image_builder.h"
@@ -41,6 +42,14 @@ struct Node {
   sim::CpuModel cpu;
   netbuf::CopyEngine copier;
   proto::NetworkStack stack;
+
+  /// Registers this host's CPU, copy engine and stack/NIC metrics under
+  /// one node label.
+  void register_metrics(MetricRegistry& registry, const std::string& node) {
+    cpu.register_metrics(registry, node);
+    copier.register_metrics(registry, node);
+    stack.register_metrics(registry, node);
+  }
 };
 
 struct TestbedConfig {
@@ -108,10 +117,20 @@ class Testbed {
   proto::Ipv4Addr client_ip(int i) const;
   static constexpr proto::Ipv4Addr kStorageIp = proto::make_ipv4(10, 0, 0, 1);
 
-  /// Resets every utilization window / counter for a measurement interval.
+  /// The testbed-wide metric registry. Every node/subsystem registers at
+  /// construction (the NFS server at start_nfs); externally-attached
+  /// servers (kHTTPd) register themselves via KHttpd::register_metrics.
+  MetricRegistry& metrics() noexcept { return metrics_; }
+  const MetricRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Resets every utilization window / counter for a measurement interval
+  /// (fans out through the registry's reset hooks).
   void reset_stats();
 
   /// Aggregate measurement snapshot over the window since reset_stats().
+  /// A thin typed view over the registry — every field is readable by
+  /// name from metrics() / its JSON export; this struct exists for
+  /// ergonomic access from tests and benches.
   struct Snapshot {
     double elapsed_s = 0;
     double server_cpu = 0;   ///< utilization [0,1]
@@ -144,6 +163,10 @@ class Testbed {
   std::unique_ptr<fs::SimpleFs> fs_;
   std::unique_ptr<nfs::NfsServer> nfs_server_;
   std::vector<std::unique_ptr<nfs::NfsClient>> nfs_clients_;
+
+  /// Declared last: sampling callbacks hold raw pointers into the members
+  /// above, so the registry must never outlive them.
+  MetricRegistry metrics_;
 };
 
 }  // namespace ncache::testbed

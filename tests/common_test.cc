@@ -210,6 +210,65 @@ TEST(Stats, LatencyHistogramBasics) {
   EXPECT_EQ(h.count(), 0u);
 }
 
+TEST(Stats, ByteMeterZeroIntervalYieldsZeroRate) {
+  ByteMeter m;
+  EXPECT_DOUBLE_EQ(m.mb_per_sec(0), 0.0);  // empty meter, empty window
+  m.add(1'000'000);
+  EXPECT_DOUBLE_EQ(m.mb_per_sec(0), 0.0);  // bytes but a zero window
+}
+
+TEST(Stats, LatencyHistogramQuantileEmpty) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile_ns(0.0), 0u);
+  EXPECT_EQ(h.quantile_ns(0.5), 0u);
+  EXPECT_EQ(h.quantile_ns(1.0), 0u);
+}
+
+TEST(Stats, LatencyHistogramQuantileEndpoints) {
+  LatencyHistogram h;
+  h.record(500);
+  h.record(1'500);
+  h.record(1'000'000);
+  // q<=0 pins to the minimum, q>=1 to the maximum — exactly, not to a
+  // bucket boundary.
+  EXPECT_EQ(h.quantile_ns(0.0), h.min_ns());
+  EXPECT_EQ(h.quantile_ns(-1.0), h.min_ns());
+  EXPECT_EQ(h.quantile_ns(1.0), h.max_ns());
+  EXPECT_EQ(h.quantile_ns(2.0), h.max_ns());
+  // Interior quantiles are monotone between the endpoints.
+  EXPECT_GE(h.quantile_ns(0.5), h.min_ns());
+  EXPECT_LE(h.quantile_ns(0.5), h.max_ns());
+}
+
+TEST(Stats, LatencyHistogramQuantileSingleSample) {
+  LatencyHistogram h;
+  h.record(777);
+  EXPECT_EQ(h.quantile_ns(0.0), 777u);
+  EXPECT_EQ(h.quantile_ns(1.0), 777u);
+  EXPECT_GE(h.quantile_ns(0.5), 777u);  // bucket upper bound >= sample
+}
+
+TEST(Stats, RunningStatSingleSample) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  // Sample variance of one observation is undefined; it must report 0,
+  // not NaN or a division-by-zero artifact.
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Stats, RunningStatEmpty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
 TEST(Stats, RunningStatMoments) {
   RunningStat s;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);

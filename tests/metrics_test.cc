@@ -1,0 +1,220 @@
+// MetricRegistry + JSON exporter: unit behaviour of the registry itself,
+// and the end-to-end round trip the benches rely on — run a window on
+// the testbed, dump the registry, parse the dump back, and check it
+// agrees with the typed Testbed::Snapshot view.
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "testbed/testbed.h"
+#include "workload/counters.h"
+#include "workload/nfs_workloads.h"
+
+namespace ncache {
+namespace {
+
+// ---- json::Value ------------------------------------------------------------
+
+TEST(Json, ObjectPreservesInsertionOrderAndOverwrites) {
+  auto v = json::Value::object();
+  v.set("b", 1);
+  v.set("a", 2);
+  v.set("b", 3);  // overwrite keeps position
+  EXPECT_EQ(v.dump(-1), "{\"b\":3,\"a\":2}");
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  auto v = json::Value::object();
+  v.set("str", "he\"llo\n");
+  v.set("int", std::int64_t(-42));
+  v.set("dbl", 0.25);
+  v.set("flag", true);
+  auto arr = json::Value::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  v.set("arr", std::move(arr));
+
+  auto parsed = json::Value::parse(v.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(), v.dump());
+  EXPECT_EQ(parsed->find("str")->as_string(), "he\"llo\n");
+  EXPECT_EQ(parsed->find("int")->as_int(), -42);
+  EXPECT_DOUBLE_EQ(parsed->find("dbl")->as_double(), 0.25);
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_FALSE(json::Value::parse("{\"a\":").has_value());
+  EXPECT_FALSE(json::Value::parse("{} trailing").has_value());
+  EXPECT_FALSE(json::Value::parse("nope").has_value());
+}
+
+TEST(Json, NonFiniteDoublesDumpAsNull) {
+  auto v = json::Value::object();
+  v.set("bad", std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(v.dump(-1), "{\"bad\":null}");
+}
+
+TEST(Json, FindPathDescendsNestedObjects) {
+  auto v = json::Value::object();
+  auto inner = json::Value::object();
+  inner.set("server", 0.5);
+  v.set("cpu", std::move(inner));
+  ASSERT_NE(v.find_path("cpu.server"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find_path("cpu.server")->as_double(), 0.5);
+  EXPECT_EQ(v.find_path("cpu.missing"), nullptr);
+  EXPECT_EQ(v.find_path("nope.server"), nullptr);
+}
+
+// ---- MetricRegistry ---------------------------------------------------------
+
+TEST(MetricRegistry, SamplesThroughCallbacks) {
+  MetricRegistry reg;
+  std::uint64_t ops = 0;
+  double util = 0.0;
+  reg.counter("server", "test.ops", [&] { return ops; });
+  reg.gauge("server", "test.util", [&] { return util; });
+
+  ops = 7;
+  util = 0.75;
+  EXPECT_EQ(reg.counter_value("server", "test.ops"), 7u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("server", "test.util"), 0.75);
+  EXPECT_TRUE(reg.has("server", "test.ops"));
+  EXPECT_FALSE(reg.has("server", "test.nope"));
+  EXPECT_FALSE(reg.has("client0", "test.ops"));
+}
+
+TEST(MetricRegistry, ResetAllRunsHooks) {
+  MetricRegistry reg;
+  std::uint64_t ops = 5;
+  reg.counter("server", "test.ops", [&] { return ops; });
+  reg.on_reset([&] { ops = 0; });
+  reg.reset_all();
+  EXPECT_EQ(reg.counter_value("server", "test.ops"), 0u);
+}
+
+TEST(MetricRegistry, ToJsonGroupsByNodeInRegistrationOrder) {
+  MetricRegistry reg;
+  reg.counter("zeta", "a.ops", [] { return std::uint64_t(1); });
+  reg.counter("alpha", "b.ops", [] { return std::uint64_t(2); });
+  reg.counter("zeta", "c.ops", [] { return std::uint64_t(3); });
+  auto js = reg.to_json();
+  // First-registration order, NOT alphabetical.
+  ASSERT_EQ(js.members().size(), 2u);
+  EXPECT_EQ(js.members()[0].first, "zeta");
+  EXPECT_EQ(js.members()[1].first, "alpha");
+  EXPECT_EQ(js.find("zeta")->members()[0].first, "a.ops");
+  EXPECT_EQ(js.find("zeta")->members()[1].first, "c.ops");
+  EXPECT_EQ(js.find("zeta")->find("c.ops")->as_int(), 3);
+}
+
+TEST(MetricRegistry, HistogramsExportSummaries) {
+  MetricRegistry reg;
+  LatencyHistogram h;
+  h.record(1'000);
+  h.record(2'000);
+  reg.histogram("server", "test.lat", &h);
+  auto js = reg.to_json();
+  const auto* lat = js.find("server")->find("test.lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->find("count")->as_int(), 2);
+  ASSERT_NE(lat->find("p50_ns"), nullptr);
+  ASSERT_NE(lat->find("p99_ns"), nullptr);
+  EXPECT_EQ(lat->find("max_ns")->as_int(), 2'000);
+}
+
+// ---- end-to-end round trip --------------------------------------------------
+
+TEST(MetricsRoundTrip, RegistryDumpMatchesTypedSnapshot) {
+  testbed::TestbedConfig cfg;
+  cfg.mode = core::PassMode::NCache;
+  cfg.volume_blocks = 8 * 1024;
+  testbed::Testbed tb(cfg);
+  constexpr std::uint64_t kHot = 1 << 20;
+  std::uint32_t ino = tb.image().add_file("hot.bin", kHot);
+  tb.start_nfs();
+
+  // Warm, then run a short all-hit window.
+  auto warm_fn = [&]() -> Task<void> {
+    for (std::uint64_t off = 0; off < kHot; off += 32768) {
+      (void)co_await tb.nfs_client(0).read(ino, off, 32768);
+    }
+  };
+  sim::sync_wait(tb.loop(), warm_fn());
+
+  workload::StopFlag stop;
+  workload::Counters counters;
+  for (int ci = 0; ci < tb.client_count(); ++ci) {
+    workload::hot_read_worker(tb.nfs_client(ci), ino, kHot, 32768,
+                              std::uint32_t(ci + 1), &stop, &counters)
+        .detach();
+  }
+  tb.reset_stats();
+  sim::Time window_start = tb.loop().now();
+  workload::run_measurement(tb.loop(), stop, 30 * sim::kMillisecond);
+
+  auto snap = tb.snapshot(window_start);
+  EXPECT_GT(snap.nfs_requests, 0u);
+  EXPECT_GT(snap.server_cpu, 0.0);
+  EXPECT_GT(snap.server_logical_copies, 0u);  // NCache mode
+  EXPECT_EQ(snap.server_data_copies, 0u);
+
+  // Serialize the registry, parse the text back, and check the typed
+  // view against the parsed fields — the full bench-telemetry loop.
+  // Doubles travel through the dumper's fixed %.9g format, so parsed
+  // gauges agree with the exact values to 9 significant digits.
+  constexpr double kFmtTol = 1e-8;
+  auto parsed = json::Value::parse(tb.metrics().to_json().dump());
+  ASSERT_TRUE(parsed.has_value());
+
+  const auto* server = parsed->find("server");
+  ASSERT_NE(server, nullptr);
+  EXPECT_NEAR(server->find("cpu.utilization")->as_double(), snap.server_cpu,
+              kFmtTol);
+  EXPECT_EQ(std::uint64_t(server->find("nfs.requests")->as_int()),
+            snap.nfs_requests);
+  EXPECT_EQ(std::uint64_t(server->find("nfs.read_bytes")->as_int()),
+            snap.read_bytes_served);
+  EXPECT_EQ(std::uint64_t(server->find("copy.data_ops")->as_int()),
+            snap.server_data_copies);
+  EXPECT_EQ(std::uint64_t(server->find("copy.logical_ops")->as_int()),
+            snap.server_logical_copies);
+  EXPECT_NEAR(server->find("nic0.tx.utilization")->as_double(),
+              snap.server_link_util, kFmtTol);
+
+  const auto* storage = parsed->find("storage");
+  ASSERT_NE(storage, nullptr);
+  EXPECT_NEAR(storage->find("cpu.utilization")->as_double(), snap.storage_cpu,
+              kFmtTol);
+
+  // Client-side CPUs exist and the typed max matches the parsed max.
+  double client_max = 0.0;
+  for (int i = 0; i < tb.client_count(); ++i) {
+    const auto* c = parsed->find("client" + std::to_string(i));
+    ASSERT_NE(c, nullptr);
+    client_max =
+        std::max(client_max, c->find("cpu.utilization")->as_double());
+  }
+  EXPECT_NEAR(client_max, snap.client_cpu_max, kFmtTol);
+}
+
+TEST(MetricsRoundTrip, ResetStatsZeroesTheWindow) {
+  testbed::TestbedConfig cfg;
+  cfg.volume_blocks = 8 * 1024;
+  testbed::Testbed tb(cfg);
+  std::uint32_t ino = tb.image().add_file("f.bin", 64 * 1024);
+  tb.start_nfs();
+  auto t_fn = [&]() -> Task<void> {
+    (void)co_await tb.nfs_client(0).read(ino, 0, 32768);
+  };
+  sim::sync_wait(tb.loop(), t_fn());
+  EXPECT_GT(tb.metrics().counter_value("server", "nfs.requests"), 0u);
+  EXPECT_GT(tb.metrics().counter_value("server", "copy.data_ops"), 0u);
+
+  tb.reset_stats();
+  EXPECT_EQ(tb.metrics().counter_value("server", "nfs.requests"), 0u);
+  EXPECT_EQ(tb.metrics().counter_value("server", "copy.data_ops"), 0u);
+  EXPECT_EQ(tb.metrics().counter_value("server", "nic0.tx.frames"), 0u);
+}
+
+}  // namespace
+}  // namespace ncache

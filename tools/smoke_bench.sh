@@ -1,0 +1,30 @@
+#!/bin/sh
+# Smoke-runs one bench binary twice and checks the telemetry contract:
+#   1. both runs exit 0;
+#   2. the two BENCH_*.json files are byte-identical (deterministic sim);
+#   3. the JSON passes the checked-in schema (keys present, values
+#      finite, non-empty rows).
+#
+# Usage: smoke_bench.sh <bench-binary> <validator-binary> <schema.json> <workdir>
+set -eu
+
+BENCH="$1"
+VALIDATOR="$2"
+SCHEMA="$3"
+WORK="$4"
+
+rm -rf "$WORK"
+mkdir -p "$WORK/run1" "$WORK/run2"
+
+"$BENCH" --smoke --out="$WORK/run1" > "$WORK/run1.out"
+"$BENCH" --smoke --out="$WORK/run2" > "$WORK/run2.out"
+
+J1=$(ls "$WORK"/run1/BENCH_*.json)
+J2=$(ls "$WORK"/run2/BENCH_*.json)
+
+if ! cmp "$J1" "$J2"; then
+    echo "FAIL: $J1 and $J2 differ between two same-seed runs" >&2
+    exit 1
+fi
+
+"$VALIDATOR" "$SCHEMA" "$J1"
