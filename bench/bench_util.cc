@@ -2,6 +2,8 @@
 
 #include <string_view>
 
+#include "sim/event_loop.h"
+
 namespace ncache::bench {
 
 BenchOptions BenchOptions::parse(int& argc, char** argv) {
@@ -24,7 +26,10 @@ BenchOptions BenchOptions::parse(int& argc, char** argv) {
 
 BenchReport::BenchReport(const BenchOptions& opts, std::string name,
                          std::string expectation)
-    : name_(std::move(name)), out_dir_(opts.out_dir) {
+    : name_(std::move(name)),
+      out_dir_(opts.out_dir),
+      wall_start_(std::chrono::steady_clock::now()),
+      dispatched_start_(sim::EventLoop::process_dispatched()) {
   root_ = json::Value::object();
   root_.set("bench", name_);
   root_.set("expectation", std::move(expectation));
@@ -39,7 +44,22 @@ void BenchReport::add_row(json::Value row) {
 
 json::Value& BenchReport::shape() { return *root_.find("shape"); }
 
-bool BenchReport::write() const {
+bool BenchReport::write() {
+  // The wall block is computed at write time so it covers the whole bench
+  // (setup + every measured window). It is the only non-deterministic part
+  // of the file; smoke_bench.sh strips it before its byte-compare.
+  double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start_)
+          .count();
+  std::uint64_t events =
+      sim::EventLoop::process_dispatched() - dispatched_start_;
+  auto wall = json::Value::object();
+  wall.set("wall_ms", wall_ms);
+  wall.set("events_per_sec",
+           wall_ms > 0 ? double(events) / (wall_ms / 1e3) : 0.0);
+  root_.set("wall", std::move(wall));
+
   std::string path = out_dir_ + "/BENCH_" + name_ + ".json";
   if (!json::write_file(root_, path)) {
     std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());

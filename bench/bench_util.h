@@ -4,6 +4,7 @@
 // every binary emits alongside its text output.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -51,13 +52,19 @@ struct BenchOptions {
 /// Builder for the structured telemetry file. Layout:
 ///
 ///   { "bench": <name>, "expectation": <paper shape, prose>,
-///     "smoke": bool, "rows": [...], "shape": {...} }
+///     "smoke": bool, "rows": [...], "shape": {...}, "wall": {...} }
 ///
 /// Rows carry per-configuration results (each mode's `measured_json`
 /// block plus bench-specific fields); `shape` holds the paper-vs-measured
-/// summary numbers the figure is judged by. Everything written here is
-/// derived from simulated time only, so two same-seed runs dump
-/// byte-identical files.
+/// summary numbers the figure is judged by. Everything except "wall" is
+/// derived from simulated time only, so two same-seed runs dump files
+/// that are byte-identical once "wall" blocks are stripped (which is what
+/// tools/smoke_bench.sh compares).
+///
+/// "wall" is the one deliberately non-deterministic block: real elapsed
+/// time between BenchReport construction and write(), plus the simulator
+/// events dispatched per wall-clock second — the perf trajectory every
+/// bench contributes to (tools/perf_compare.py diffs these).
 class BenchReport {
  public:
   BenchReport(const BenchOptions& opts, std::string name,
@@ -67,14 +74,16 @@ class BenchReport {
   json::Value& shape();
   json::Value& root() noexcept { return root_; }
 
-  /// Writes BENCH_<name>.json into out_dir; prints the path. Returns
-  /// false if the file cannot be written.
-  bool write() const;
+  /// Writes BENCH_<name>.json into out_dir (stamping the "wall" block);
+  /// prints the path. Returns false if the file cannot be written.
+  bool write();
 
  private:
   std::string name_;
   std::string out_dir_;
   json::Value root_;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::uint64_t dispatched_start_ = 0;
 };
 
 /// The standard measured block every bench row embeds: throughput,

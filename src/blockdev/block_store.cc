@@ -13,7 +13,7 @@ DiskModel::DiskModel(sim::EventLoop& loop, const sim::CostModel& costs,
     : loop_(loop), costs_(costs), name_(std::move(name)) {}
 
 void DiskModel::access(std::uint64_t offset, std::size_t bytes,
-                       std::function<void()> done) {
+                       sim::InlineCallback done) {
   sim::Duration cost = costs_.disk_command_ns;
   if (offset != next_sequential_offset_) {
     std::uint64_t delta = offset > next_sequential_offset_
@@ -71,7 +71,7 @@ Raid0::Raid0(sim::EventLoop& loop, const sim::CostModel& costs,
 }
 
 void Raid0::access(std::uint64_t offset, std::size_t bytes,
-                   std::function<void()> done) {
+                   sim::InlineCallback done) {
   if (bytes == 0) {
     loop_.schedule_in(0, std::move(done));
     return;
@@ -79,7 +79,7 @@ void Raid0::access(std::uint64_t offset, std::size_t bytes,
   // Split [offset, offset+bytes) into stripe-unit extents and fan out.
   struct Join {
     std::size_t remaining = 0;
-    std::function<void()> done;
+    sim::InlineCallback done;
   };
   auto join = std::make_shared<Join>();
   join->done = std::move(done);
@@ -98,7 +98,7 @@ void Raid0::access(std::uint64_t offset, std::size_t bytes,
 
     ++join->remaining;
     disks_[disk_index]->access(disk_offset, extent, [join] {
-      if (--join->remaining == 0) join->done();
+      if (--join->remaining == 0 && join->done) join->done();
     });
     pos += extent;
   }

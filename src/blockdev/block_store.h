@@ -38,7 +38,7 @@ class DiskModel {
 
   /// Timing-only access of `bytes` at `offset`; `done` fires at completion.
   void access(std::uint64_t offset, std::size_t bytes,
-              std::function<void()> done);
+              sim::InlineCallback done);
 
   std::uint64_t requests() const noexcept { return requests_; }
   std::uint64_t seeks() const noexcept { return seeks_; }
@@ -66,7 +66,7 @@ class Raid0 {
         unsigned disks, std::size_t stripe_unit_bytes = 64 * 1024);
 
   void access(std::uint64_t offset, std::size_t bytes,
-              std::function<void()> done);
+              sim::InlineCallback done);
 
   unsigned disk_count() const noexcept { return unsigned(disks_.size()); }
   DiskModel& disk(unsigned i) { return *disks_.at(i); }

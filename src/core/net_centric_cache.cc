@@ -208,6 +208,7 @@ void NetCentricCache::register_metrics(MetricRegistry& registry,
                  [this] { return double(chunk_count()); });
   registry.gauge(node, prefix + ".pinned_bytes",
                  [this] { return double(pinned_bytes()); });
+  pool_.register_metrics(registry, node, prefix + ".pool");
   registry.on_reset([this] { reset_stats(); });
 }
 

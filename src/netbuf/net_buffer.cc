@@ -2,35 +2,45 @@
 
 #include <cstring>
 
+#include "common/metrics.h"
+#include "netbuf/slab_cache.h"
+
 namespace ncache::netbuf {
 
 NetBuffer::NetBuffer(std::size_t headroom, std::size_t capacity)
-    : storage_(headroom + capacity), head_(headroom), tail_(headroom) {}
+    : storage_(SlabCache::process().acquire(headroom + capacity)),
+      head_(headroom),
+      tail_(headroom),
+      cap_(headroom + capacity) {}
 
 NetBuffer::NetBuffer(NetBuffer&& o) noexcept
     : storage_(std::move(o.storage_)),
       head_(o.head_),
       tail_(o.tail_),
+      cap_(o.cap_),
       pool_(o.pool_) {
   o.pool_ = nullptr;
-  o.head_ = o.tail_ = 0;
+  o.head_ = o.tail_ = o.cap_ = 0;
 }
 
 NetBuffer& NetBuffer::operator=(NetBuffer&& o) noexcept {
   if (this != &o) {
     if (pool_) pool_->release(*this);
+    if (!storage_.empty()) SlabCache::process().recycle(std::move(storage_));
     storage_ = std::move(o.storage_);
     head_ = o.head_;
     tail_ = o.tail_;
+    cap_ = o.cap_;
     pool_ = o.pool_;
     o.pool_ = nullptr;
-    o.head_ = o.tail_ = 0;
+    o.head_ = o.tail_ = o.cap_ = 0;
   }
   return *this;
 }
 
 NetBuffer::~NetBuffer() {
   if (pool_) pool_->release(*this);
+  if (!storage_.empty()) SlabCache::process().recycle(std::move(storage_));
 }
 
 std::byte* NetBuffer::push(std::size_t n) {
@@ -64,7 +74,10 @@ void NetBuffer::append(std::span<const std::byte> src) {
 }
 
 NetBufferPtr make_buffer(std::size_t capacity, std::size_t headroom) {
-  return std::make_shared<NetBuffer>(headroom, capacity);
+  // allocate_shared + RecyclingAllocator: the combined control-block/
+  // object allocation recycles through a free list, like the storage.
+  return std::allocate_shared<NetBuffer>(RecyclingAllocator<NetBuffer>{},
+                                         headroom, capacity);
 }
 
 NetBufferPtr BufferPool::allocate(std::size_t capacity, std::size_t headroom) {
@@ -73,7 +86,17 @@ NetBufferPtr BufferPool::allocate(std::size_t capacity, std::size_t headroom) {
     ++failures_;
     return nullptr;
   }
-  auto buf = std::make_shared<NetBuffer>(headroom, capacity);
+  // Attribute the slab outcome of this construction to this pool (the
+  // simulator is single-threaded, so the delta is exactly our acquire).
+  SlabCache& slab = SlabCache::process();
+  std::uint64_t hits0 = slab.hits();
+  auto buf = std::allocate_shared<NetBuffer>(RecyclingAllocator<NetBuffer>{},
+                                             headroom, capacity);
+  if (slab.hits() != hits0) {
+    ++recycled_;
+  } else {
+    ++slab_misses_;
+  }
   buf->pool_ = this;
   in_use_ += charge;
   ++allocations_;
@@ -97,6 +120,19 @@ bool BufferPool::adopt(NetBuffer& buf) {
 void BufferPool::release(const NetBuffer& buf) noexcept {
   std::size_t charge = buf.capacity() + kPerBufferOverhead;
   in_use_ = in_use_ > charge ? in_use_ - charge : 0;
+}
+
+void BufferPool::register_metrics(MetricRegistry& registry,
+                                  const std::string& node,
+                                  const std::string& prefix) {
+  registry.gauge(node, prefix + ".in_use_bytes",
+                 [this] { return double(in_use_); });
+  registry.counter(node, prefix + ".allocations",
+                   [this] { return allocations_; });
+  registry.counter(node, prefix + ".failures", [this] { return failures_; });
+  registry.counter(node, prefix + ".recycled", [this] { return recycled_; });
+  registry.counter(node, prefix + ".slab_misses",
+                   [this] { return slab_misses_; });
 }
 
 }  // namespace ncache::netbuf

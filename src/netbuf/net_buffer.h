@@ -13,7 +13,12 @@
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+namespace ncache {
+class MetricRegistry;
+}
 
 namespace ncache::netbuf {
 
@@ -51,8 +56,12 @@ class NetBuffer {
 
   std::size_t size() const noexcept { return tail_ - head_; }
   std::size_t headroom() const noexcept { return head_; }
-  std::size_t tailroom() const noexcept { return storage_.size() - tail_; }
-  std::size_t capacity() const noexcept { return storage_.size(); }
+  std::size_t tailroom() const noexcept { return cap_ - tail_; }
+  /// Logical capacity (headroom + data room), the size pools charge for.
+  /// The backing storage may be larger: it comes from a SlabCache size
+  /// class so that release/allocate cycles recycle it without touching
+  /// the heap. Only the first capacity() bytes are ever reachable.
+  std::size_t capacity() const noexcept { return cap_; }
 
   /// Appends the given bytes (convenience over put + memcpy).
   void append(std::span<const std::byte> src);
@@ -63,9 +72,10 @@ class NetBuffer {
  private:
   friend class BufferPool;
 
-  std::vector<std::byte> storage_;
+  std::vector<std::byte> storage_;  // slab-class sized, >= cap_
   std::size_t head_ = 0;
   std::size_t tail_ = 0;
+  std::size_t cap_ = 0;         // logical capacity; accounting unit
   BufferPool* pool_ = nullptr;  // set by BufferPool::allocate
 };
 
@@ -108,6 +118,14 @@ class BufferPool {
   }
   std::uint64_t allocations() const noexcept { return allocations_; }
   std::uint64_t failures() const noexcept { return failures_; }
+  /// Allocations whose storage came off a slab free list / had to hit
+  /// the heap. recycled + slab_misses == allocations.
+  std::uint64_t recycled() const noexcept { return recycled_; }
+  std::uint64_t slab_misses() const noexcept { return slab_misses_; }
+
+  /// Publishes <prefix>.* occupancy and recycling metrics under `node`.
+  void register_metrics(MetricRegistry& registry, const std::string& node,
+                        const std::string& prefix);
 
   /// Per-buffer bookkeeping overhead in bytes (descriptor + links + index).
   static constexpr std::size_t kPerBufferOverhead = 96;
@@ -122,6 +140,8 @@ class BufferPool {
   std::size_t in_use_ = 0;
   std::uint64_t allocations_ = 0;
   std::uint64_t failures_ = 0;
+  std::uint64_t recycled_ = 0;
+  std::uint64_t slab_misses_ = 0;
 };
 
 }  // namespace ncache::netbuf

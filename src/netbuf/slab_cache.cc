@@ -1,0 +1,56 @@
+#include "netbuf/slab_cache.h"
+
+#include <bit>
+#include <cstring>
+
+namespace ncache::netbuf {
+
+SlabCache& SlabCache::process() {
+  static SlabCache cache;
+  return cache;
+}
+
+int SlabCache::class_index(std::size_t bytes) noexcept {
+  if (bytes > kMaxClassBytes) return kNumClasses;
+  std::size_t rounded = std::bit_ceil(bytes < kMinClassBytes ? kMinClassBytes
+                                                             : bytes);
+  return std::countr_zero(rounded) - std::countr_zero(kMinClassBytes);
+}
+
+std::vector<std::byte> SlabCache::acquire(std::size_t bytes) {
+  int ci = class_index(bytes);
+  if (ci < kNumClasses && !lists_[ci].empty()) {
+    std::vector<std::byte> storage = std::move(lists_[ci].back());
+    lists_[ci].pop_back();
+    held_bytes_ -= storage.size();
+    ++hits_;
+    // Only the logical capacity is reachable through NetBuffer's API, so
+    // zeroing that prefix makes a recycled buffer indistinguishable from
+    // a fresh one.
+    if (bytes) std::memset(storage.data(), 0, bytes);
+    return storage;
+  }
+  ++misses_;
+  std::size_t alloc = ci < kNumClasses ? (kMinClassBytes << ci) : bytes;
+  return std::vector<std::byte>(alloc);
+}
+
+void SlabCache::recycle(std::vector<std::byte>&& storage) noexcept {
+  std::size_t n = storage.size();
+  if (n == 0) return;
+  int ci = class_index(n);
+  if (ci >= kNumClasses || n != (kMinClassBytes << ci) ||
+      lists_[ci].size() * n >= kMaxHeldBytesPerClass) {
+    ++dropped_;
+    return;  // storage frees on scope exit
+  }
+  held_bytes_ += n;
+  lists_[ci].push_back(std::move(storage));
+}
+
+void SlabCache::drain() noexcept {
+  for (auto& list : lists_) list.clear();
+  held_bytes_ = 0;
+}
+
+}  // namespace ncache::netbuf

@@ -6,7 +6,7 @@
 
 namespace ncache::sim {
 
-void CpuModel::submit(Duration cost, std::function<void()> done) {
+void CpuModel::submit(Duration cost, InlineCallback done) {
   Time start = std::max(loop_.now(), free_at_);
   Time finish = start + cost;
   free_at_ = finish;

@@ -28,7 +28,7 @@ class CpuModel {
   CpuModel& operator=(const CpuModel&) = delete;
 
   /// Enqueues `cost` ns of work; `done` fires when the CPU completes it.
-  void submit(Duration cost, std::function<void()> done);
+  void submit(Duration cost, InlineCallback done);
 
   /// Charges work with no completion callback (cost still serializes and
   /// counts toward utilization; used for bookkeeping-style costs whose

@@ -2,20 +2,26 @@
 
 namespace ncache::sim {
 
-void EventLoop::schedule_at(Time at, std::function<void()> fn) {
-  if (at < now_) at = now_;
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+namespace {
+std::uint64_t g_process_dispatched = 0;
+}  // namespace
+
+std::uint64_t EventLoop::process_dispatched() noexcept {
+  return g_process_dispatched;
 }
 
 bool EventLoop::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top returns const&; move out via const_cast is the
-  // standard workaround and safe because we pop immediately.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.at;
+  // Dispatch in place: the unlinked node is stable storage, so the
+  // callback runs without being moved out first. Schedules issued from
+  // inside it relink other nodes only; recycle() then destroys the
+  // callback and returns the node to the pool.
+  TimerWheel::Node* n = wheel_.pop_node();
+  if (!n) return false;
+  now_ = n->e.at;
   ++dispatched_;
-  if (ev.fn) ev.fn();  // null fn = pure time marker
+  ++g_process_dispatched;
+  if (n->e.fn) n->e.fn();  // null fn = pure time marker
+  wheel_.recycle(n);
   return true;
 }
 
@@ -27,7 +33,11 @@ std::size_t EventLoop::run() {
 
 std::size_t EventLoop::run_until(Time deadline) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().at <= deadline) {
+  // peek() may advance the wheel cursor past `deadline`; the wheel's ready
+  // batch stays valid for schedules landing in (now, batch time), so this
+  // is safe even when we stop short of the next event.
+  while (const TimerWheel::Entry* next = wheel_.peek()) {
+    if (next->at > deadline) break;
     step();
     ++n;
   }

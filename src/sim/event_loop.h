@@ -3,21 +3,23 @@
 // Time is a 64-bit nanosecond counter. Events scheduled for the same
 // instant fire in scheduling order (a monotone sequence number breaks
 // ties), which makes every run bit-for-bit reproducible.
+//
+// The pending set lives in a hierarchical timer wheel (sim/timer_wheel.h)
+// and callbacks in 48-byte small-buffer InlineCallback slots
+// (sim/inline_callback.h), so a steady-state schedule/dispatch cycle
+// performs zero heap allocations — the property bench/perf_core.cc
+// measures and tools/perf_compare.py tracks across PRs.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <queue>
 #include <stdexcept>
-#include <vector>
 
 #include "common/task.h"
+#include "sim/inline_callback.h"
+#include "sim/timer_wheel.h"
 
 namespace ncache::sim {
-
-using Time = std::uint64_t;      // absolute simulated time, ns
-using Duration = std::uint64_t;  // simulated interval, ns
 
 constexpr Duration kMicrosecond = 1'000;
 constexpr Duration kMillisecond = 1'000'000;
@@ -31,11 +33,18 @@ class EventLoop {
 
   Time now() const noexcept { return now_; }
 
-  /// Schedules `fn` at absolute time `at` (clamped to now if in the past).
-  void schedule_at(Time at, std::function<void()> fn);
+  /// Schedules `fn` at absolute time `at` (clamped to now if in the past;
+  /// clamps are counted in clamped_events()).
+  void schedule_at(Time at, InlineCallback fn) {
+    if (at < now_) {
+      at = now_;
+      ++clamped_;
+    }
+    wheel_.push(at, next_seq_++, std::move(fn));
+  }
 
   /// Schedules `fn` after `delay` ns.
-  void schedule_in(Duration delay, std::function<void()> fn) {
+  void schedule_in(Duration delay, InlineCallback fn) {
     schedule_at(now_ + delay, std::move(fn));
   }
 
@@ -49,29 +58,34 @@ class EventLoop {
   /// Processes a single event; returns false if none is pending.
   bool step();
 
-  bool idle() const noexcept { return queue_.empty(); }
-  std::size_t pending() const noexcept { return queue_.size(); }
+  bool idle() const noexcept { return wheel_.empty(); }
+  std::size_t pending() const noexcept { return wheel_.size(); }
 
   /// Total events ever dispatched (for sanity checks in tests).
   std::uint64_t dispatched() const noexcept { return dispatched_; }
 
- private:
-  struct Event {
-    Time at;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  /// Schedules whose target time was already in the past and got clamped
+  /// to now. A burst of these means some model is emitting events faster
+  /// than it advances time; surfaced as the "sim.clamped_events" metric.
+  std::uint64_t clamped_events() const noexcept { return clamped_; }
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Pre-grows the timer wheel's node pool to `events` concurrently
+  /// pending events (see TimerWheel::reserve), so scheduling never
+  /// allocates while the pending set stays under that high-water mark.
+  /// Optional; benches call it before the measured phase.
+  void reserve_pending(std::size_t events) { wheel_.reserve(events); }
+
+  /// Events dispatched by every loop in this process (wall-clock telemetry:
+  /// the BENCH_*.json "wall" block divides by elapsed real time). The
+  /// simulator is single-threaded, so a plain counter suffices.
+  static std::uint64_t process_dispatched() noexcept;
+
+ private:
+  TimerWheel wheel_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t clamped_ = 0;
 };
 
 /// Awaitable pause: `co_await sleep_for(loop, 10 * kMicrosecond);`

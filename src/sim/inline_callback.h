@@ -1,0 +1,126 @@
+// InlineCallback — the event loop's allocation-free callback slot.
+//
+// std::function<void()> must be copyable, which forces it to heap-box any
+// callable bigger than its ~16-byte SSO; every scheduling call site in this
+// repo captures a shared_ptr plus a word or two, so the old event loop paid
+// one malloc per scheduled event. InlineCallback is move-only and carries
+// 48 bytes of inline storage — enough for every callback in src/sim,
+// src/proto and the coroutine awaiters — so the schedule/dispatch hot path
+// never touches the allocator. Callables that are larger than the inline
+// buffer (or whose move can throw) still work; they fall back to a
+// heap-boxed pointer, preserving std::function's generality.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ncache::sim {
+
+class InlineCallback {
+ public:
+  /// Inline storage size. 48 bytes holds two shared_ptrs plus two words —
+  /// comfortably above the repo's largest scheduling capture.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineCallback() = default;
+  InlineCallback(std::nullptr_t) {}
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineCallback(F&& f) {
+    using D = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<D>) {
+      ::new (storage_) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (storage_) D*(new D(std::forward<F>(f)));
+      ops_ = &kBoxedOps<D>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& o) noexcept : ops_(o.ops_) {
+    if (ops_) relocate_from(o);
+    o.ops_ = nullptr;
+  }
+
+  InlineCallback& operator=(InlineCallback&& o) noexcept {
+    if (this != &o) {
+      if (ops_ && ops_->destroy) ops_->destroy(storage_);
+      ops_ = o.ops_;
+      if (ops_) relocate_from(o);
+      o.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() {
+    if (ops_ && ops_->destroy) ops_->destroy(storage_);
+  }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs dst from src, then destroys src; null means the
+    /// callable relocates by plain memcpy (trivially copyable inline
+    /// callables and the boxed pointer — i.e. every hot-path case).
+    /// noexcept by construction: throwing-move callables take the boxed
+    /// path.
+    void (*relocate)(void* dst, void* src) noexcept;
+    /// Null when destruction is a no-op (trivially destructible inline
+    /// callables).
+    void (*destroy)(void*) noexcept;
+  };
+
+  void relocate_from(InlineCallback& o) noexcept {
+    if (ops_->relocate) {
+      ops_->relocate(storage_, o.storage_);
+    } else {
+      __builtin_memcpy(storage_, o.storage_, kInlineBytes);
+    }
+  }
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*std::launder(static_cast<D*>(p)))(); },
+      std::is_trivially_copyable_v<D>
+          ? nullptr
+          : +[](void* dst, void* src) noexcept {
+              D* s = std::launder(static_cast<D*>(src));
+              ::new (dst) D(std::move(*s));
+              s->~D();
+            },
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* p) noexcept { std::launder(static_cast<D*>(p))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kBoxedOps{
+      [](void* p) { (**std::launder(static_cast<D**>(p)))(); },
+      nullptr,  // the boxed pointer itself relocates by memcpy
+      [](void* p) noexcept { delete *std::launder(static_cast<D**>(p)); },
+  };
+
+  // ops_ precedes the payload so the null/dispatch check shares a cache
+  // line with whatever header fields the containing object keeps first.
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+};
+
+}  // namespace ncache::sim

@@ -13,7 +13,7 @@ Duration Link::tx_time(std::size_t bytes) const noexcept {
                                double(bandwidth_bps_));
 }
 
-void Link::transmit(std::size_t bytes, std::function<void()> delivered) {
+void Link::transmit(std::size_t bytes, InlineCallback delivered) {
   Time start = std::max(loop_.now(), idle_at_);
   Duration ser = tx_time(bytes);
   Time done_tx = start + ser;

@@ -32,8 +32,9 @@ class Link {
   Link& operator=(const Link&) = delete;
 
   /// Transmits a frame of `bytes` payload (wire overhead added internally);
-  /// `delivered` fires at the receiver once the last bit arrives.
-  void transmit(std::size_t bytes, std::function<void()> delivered);
+  /// `delivered` fires at the receiver once the last bit arrives (pass
+  /// nullptr to model fire-and-forget traffic).
+  void transmit(std::size_t bytes, InlineCallback delivered);
 
   /// Busy fraction since last reset_stats().
   double utilization() const noexcept;

@@ -1,0 +1,225 @@
+// Hierarchical timer wheel — the event loop's pending-event store.
+//
+// The old implementation kept every pending event in one binary heap:
+// O(log n) comparisons per operation, one heap-boxed std::function per
+// event, and a const_cast to move out of priority_queue::top. This is the
+// calendar-queue / timing-wheel discipline instead (Brown '88; Varghese &
+// Lauck '87; the same shape the Linux kernel uses for its timers):
+//
+//   * 6 levels x 64 slots, 1 ns ticks. Level L slots span 64^L ns, so the
+//     wheel covers 64^6 ns (~68 simulated seconds) ahead of the cursor;
+//     events beyond the horizon wait in a small min-heap and enter the
+//     wheel as the cursor approaches.
+//   * An event lands at the level of the highest 6-bit digit in which its
+//     deadline differs from the cursor (`at XOR elapsed`), i.e. as low as
+//     possible without ambiguity. Advancing the cursor into a higher-level
+//     slot cascades its events down; each event cascades at most 5 times.
+//   * Occupancy bitmaps (one 64-bit word per level) make "next non-empty
+//     slot" a count-trailing-zeros, so an idle wheel skips any distance in
+//     O(levels) — no tick-by-tick stepping.
+//   * Slots are intrusive singly-linked lists of pool-recycled nodes
+//     (the kernel's timer/sk_buff idiom): a cascade relinks a node in
+//     O(1) instead of moving an 80-byte entry, and once the pool reaches
+//     the workload's high-water mark of concurrently-pending events,
+//     schedule/dispatch performs zero heap allocations regardless of the
+//     delay distribution (bench/perf_core.cc asserts this via a global
+//     operator-new counter).
+//
+// Determinism contract (load-bearing: BENCH_*.json must be byte-identical
+// across same-seed runs): events fire in exactly (time, seq) order, the
+// same total order the old heap produced. A level-0 slot holds events of
+// exactly one deadline, and every relink path preserves relative order,
+// so a drained batch is already FIFO by sequence number; a defensive sort
+// pass restores it if any merge ever breaks that invariant.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/inline_callback.h"
+
+namespace ncache::sim {
+
+using Time = std::uint64_t;      // absolute simulated time, ns
+using Duration = std::uint64_t;  // simulated interval, ns
+
+class TimerWheel {
+ public:
+  struct Entry {
+    Time at = 0;
+    std::uint64_t seq = 0;
+    InlineCallback fn;
+  };
+  /// Pool node; exposed so the event loop can dispatch callbacks in
+  /// place via pop_node()/recycle() without moving the Entry out. The
+  /// link precedes the entry so relink walks (next/at/seq) stay within
+  /// the node's first cache line; callback bytes are only touched at
+  /// dispatch.
+  struct Node {
+    Node* next = nullptr;
+    Entry e;
+  };
+
+  TimerWheel() = default;
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Pre-grows the node pool to hold `entries` concurrently-pending
+  /// events (plus the overflow/scratch vectors), so a workload that never
+  /// exceeds that high-water mark never allocates after this call.
+  void reserve(std::size_t entries);
+
+  /// Inserts an entry. `at` must be >= the time of the last popped entry
+  /// (the EventLoop clamps past-due schedules before calling).
+  void push(Entry e) { push(e.at, e.seq, std::move(e.fn)); }
+
+  /// Same, constructing the entry directly in its pool node — the
+  /// scheduling hot path (one callback move total).
+  void push(Time at, std::uint64_t seq, InlineCallback&& fn) {
+    ++size_;
+    Node* n = acquire();
+    n->e.at = at;
+    n->e.seq = seq;
+    n->e.fn = std::move(fn);
+    if (ready_.head && at <= ready_.tail->e.at) {
+      // The ready batch holds the earliest pending deadlines, so an entry
+      // landing at or before its tail belongs inside it. Same-deadline
+      // entries already present carry smaller sequence numbers (seq is
+      // monotone), so inserting before the first strictly-later deadline
+      // preserves the (at, seq) order.
+      Node** pp = &ready_.head;
+      while (*pp && (*pp)->e.at <= at) pp = &(*pp)->next;
+      n->next = *pp;
+      *pp = n;
+      if (!n->next) ready_.tail = n;
+      return;
+    }
+    if (at <= elapsed_) {
+      // Only reachable with at == elapsed_ (schedule-at-now while the
+      // current batch drains): append keeps seq order since seq is
+      // monotone.
+      append(ready_, n);
+      return;
+    }
+    insert_wheel(n);
+  }
+
+  /// Moves the earliest entry (by (at, seq)) into `out`; false when empty.
+  bool pop(Entry& out) {
+    Node* n = pop_node();
+    if (!n) return false;
+    out.at = n->e.at;
+    out.seq = n->e.seq;
+    out.fn = std::move(n->e.fn);
+    recycle(n);
+    return true;
+  }
+
+  /// Zero-copy dispatch interface: unlinks the earliest node so the
+  /// caller can invoke its callback in place, then hand the node back via
+  /// recycle(). The node stays valid across interleaved push() calls (it
+  /// is off every list); recycle() destroys the callback so a popped
+  /// event never outlives its dispatch.
+  Node* pop_node() {
+    if (!ready_.head && !fill_ready()) return nullptr;
+    Node* n = ready_.head;
+    ready_.head = n->next;
+    if (!ready_.head) {
+      ready_.tail = nullptr;
+    } else {
+      // Pool nodes are scattered across blocks; start pulling the next
+      // event's cache lines while this one's callback runs.
+      __builtin_prefetch(ready_.head);
+    }
+    --size_;
+    return n;
+  }
+  void recycle(Node* n) noexcept {
+    n->e.fn = nullptr;
+    release(n);
+  }
+
+  /// Earliest pending entry without consuming it (nullptr when empty).
+  /// May advance the internal cursor; interleaved push() calls remain
+  /// valid at any time >= the last popped entry's.
+  const Entry* peek() {
+    if (!ready_.head && !fill_ready()) return nullptr;
+    return &ready_.head->e;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  static constexpr int kLevelBits = 6;
+  static constexpr int kLevels = 6;
+  static constexpr std::size_t kSlotsPerLevel = std::size_t(1) << kLevelBits;
+  /// Deadlines >= cursor + kHorizon wait in the overflow heap.
+  static constexpr Time kHorizon = Time(1) << (kLevelBits * kLevels);
+
+ private:
+  /// Intrusive FIFO list; nodes are appended at the tail so each slot
+  /// keeps its entries in push order.
+  struct List {
+    Node* head = nullptr;
+    Node* tail = nullptr;
+  };
+
+  Node* acquire() {
+    if (!free_) grow_pool();
+    Node* n = free_;
+    free_ = n->next;
+    n->next = nullptr;
+    return n;
+  }
+  void release(Node* n) noexcept {
+    n->next = free_;
+    free_ = n;
+  }
+  static void append(List& l, Node* n) noexcept {
+    n->next = nullptr;
+    if (l.tail) {
+      l.tail->next = n;
+    } else {
+      l.head = n;
+    }
+    l.tail = n;
+  }
+  void insert_wheel(Node* n) {
+    std::uint64_t diff = n->e.at ^ elapsed_;  // at > elapsed_, so diff != 0
+    int msb = 63 - std::countl_zero(diff);
+    int level = msb / kLevelBits;
+    if (level >= kLevels) {
+      push_overflow(n);
+      return;
+    }
+    auto slot =
+        std::size_t(n->e.at >> (level * kLevelBits)) & (kSlotsPerLevel - 1);
+    append(slots_[level][slot], n);
+    occupied_[level] |= std::uint64_t(1) << slot;
+  }
+  void grow_pool();
+  bool fill_ready();
+  void push_overflow(Node* n);
+  void drain_overflow_at(Time t);
+  void ensure_ready_sorted();
+
+  List slots_[kLevels][kSlotsPerLevel];
+  std::uint64_t occupied_[kLevels] = {};
+  std::vector<Node*> overflow_;  ///< min-heap by (at, seq)
+  /// Earliest batch, in (at, seq) order; consumed from the head. Pushes
+  /// at or before the tail's deadline insert here to keep global order.
+  List ready_;
+  Time elapsed_ = 0;  ///< wheel cursor; <= every pending entry's deadline
+  std::size_t size_ = 0;
+
+  // Node pool: blocks are handed out once and recycled through free_
+  // forever after; scratch_ backs the (rare) defensive batch sort.
+  static constexpr std::size_t kBlockNodes = 1024;
+  std::vector<std::unique_ptr<Node[]>> blocks_;
+  Node* free_ = nullptr;
+  std::vector<Node*> scratch_;
+};
+
+}  // namespace ncache::sim

@@ -1,6 +1,7 @@
 #include "testbed/testbed.h"
 
 #include "common/logging.h"
+#include "netbuf/slab_cache.h"
 
 namespace ncache::testbed {
 
@@ -76,6 +77,12 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   // Register every subsystem built above; the NFS server joins in
   // start_nfs(), kHTTPd (attached externally) via its own
   // register_metrics. Registration order fixes JSON export order.
+  metrics_.counter("sim", "clamped_events",
+                   [this] { return loop_.clamped_events(); });
+  metrics_.counter("sim", "netbuf.slab_hits",
+                   [] { return netbuf::SlabCache::process().hits(); });
+  metrics_.counter("sim", "netbuf.slab_misses",
+                   [] { return netbuf::SlabCache::process().misses(); });
   server_->register_metrics(metrics_, "server");
   storage_->register_metrics(metrics_, "storage");
   for (std::size_t i = 0; i < clients_.size(); ++i) {

@@ -1,0 +1,144 @@
+// Differential tests for the hierarchical timer wheel against a reference
+// priority queue — the dispatch-order oracle the old event core was built
+// on. The wheel replaced the heap for speed; these tests pin down that it
+// kept the heap's total order exactly ((time, seq) lexicographic), which
+// every same-seed byte-identical BENCH file depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/timer_wheel.h"
+
+namespace ncache::sim {
+namespace {
+
+// xorshift64* — same generator the benches use; fixed seeds keep the test
+// deterministic.
+std::uint64_t next_rng(std::uint64_t& s) {
+  s ^= s >> 12;
+  s ^= s << 25;
+  s ^= s >> 27;
+  return s * 0x2545f4914f6cdd1dull;
+}
+
+// Delay mix covering every wheel path: same-tick, level-0/1 near, mid
+// levels, top levels, and past-horizon overflow (> ~68.7 simulated s).
+Duration random_delay(std::uint64_t& rng) {
+  std::uint64_t r = next_rng(rng);
+  switch (r % 6) {
+    case 0: return 0;                              // same tick
+    case 1: return r % 64;                         // level 0
+    case 2: return r % 4096;                       // level 1
+    case 3: return r % kMillisecond;               // mid levels
+    case 4: return r % (60 * kSecond);             // top levels
+    default: return r % (200 * kSecond);           // mostly overflow heap
+  }
+}
+
+TEST(TimerWheelDifferential, MatchesReferencePriorityQueue) {
+  TimerWheel wheel;
+  using Key = std::pair<Time, std::uint64_t>;  // (at, seq)
+  std::priority_queue<Key, std::vector<Key>, std::greater<Key>> ref;
+
+  std::uint64_t rng = 0xd1ffe7e57ull;
+  Time now = 0;
+  std::uint64_t seq = 0;
+  constexpr int kOps = 1'000'000;
+
+  for (int i = 0; i < kOps; ++i) {
+    std::uint64_t r = next_rng(rng);
+    if (!ref.empty() && r % 100 < 35) {
+      TimerWheel::Entry e;
+      ASSERT_TRUE(wheel.pop(e));
+      Key expect = ref.top();
+      ref.pop();
+      ASSERT_EQ(e.at, expect.first) << "op " << i;
+      ASSERT_EQ(e.seq, expect.second) << "op " << i;
+      now = e.at;
+    } else {
+      Time at = now + random_delay(rng);
+      wheel.push(at, seq, InlineCallback{});
+      ref.emplace(at, seq);
+      ++seq;
+    }
+    ASSERT_EQ(wheel.size(), ref.size());
+  }
+
+  // Drain both completely; the tail must agree too.
+  while (!ref.empty()) {
+    TimerWheel::Entry e;
+    ASSERT_TRUE(wheel.pop(e));
+    Key expect = ref.top();
+    ref.pop();
+    ASSERT_EQ(e.at, expect.first);
+    ASSERT_EQ(e.seq, expect.second);
+  }
+  TimerWheel::Entry e;
+  EXPECT_FALSE(wheel.pop(e));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelDifferential, PeekNeverDisagreesWithPop) {
+  TimerWheel wheel;
+  std::uint64_t rng = 0x9eec1234ull;
+  Time now = 0;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    std::uint64_t r = next_rng(rng);
+    if (!wheel.empty() && r % 3 == 0) {
+      const TimerWheel::Entry* p = wheel.peek();
+      ASSERT_NE(p, nullptr);
+      Time pat = p->at;
+      std::uint64_t pseq = p->seq;
+      TimerWheel::Entry e;
+      ASSERT_TRUE(wheel.pop(e));
+      ASSERT_EQ(e.at, pat);
+      ASSERT_EQ(e.seq, pseq);
+      now = e.at;
+    } else {
+      wheel.push(now + random_delay(rng), seq++, InlineCallback{});
+    }
+  }
+}
+
+// End-to-end through the EventLoop: N randomized top-level schedules must
+// dispatch in stable (time, insertion) order and all be counted.
+TEST(TimerWheelDifferential, EventLoopDispatchesInStableTimeOrder) {
+  EventLoop loop;
+  constexpr int kEvents = 100'000;
+  std::uint64_t rng = 0x10af00d5ull;
+
+  struct Ref {
+    Time at;
+    int id;
+  };
+  std::vector<Ref> ref;
+  ref.reserve(kEvents);
+  std::vector<int> fired;
+  fired.reserve(kEvents);
+
+  std::uint64_t before = loop.dispatched();
+  for (int id = 0; id < kEvents; ++id) {
+    Time at = random_delay(rng);  // absolute, loop starts at 0
+    ref.push_back({at, id});
+    loop.schedule_at(at, [&fired, id] { fired.push_back(id); });
+  }
+  loop.run();
+
+  ASSERT_EQ(loop.dispatched() - before, std::uint64_t(kEvents));
+  ASSERT_EQ(fired.size(), std::size_t(kEvents));
+  std::stable_sort(ref.begin(), ref.end(),
+                   [](const Ref& a, const Ref& b) { return a.at < b.at; });
+  for (int i = 0; i < kEvents; ++i) {
+    ASSERT_EQ(fired[i], ref[i].id) << "position " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ncache::sim

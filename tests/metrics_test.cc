@@ -197,6 +197,25 @@ TEST(MetricsRoundTrip, RegistryDumpMatchesTypedSnapshot) {
   EXPECT_NEAR(client_max, snap.client_cpu_max, kFmtTol);
 }
 
+TEST(MetricsRoundTrip, SimCountersAppearInRegistryDump) {
+  testbed::TestbedConfig cfg;
+  cfg.volume_blocks = 8 * 1024;
+  testbed::Testbed tb(cfg);
+  tb.start_nfs();
+
+  EXPECT_TRUE(tb.metrics().has("sim", "clamped_events"));
+  EXPECT_TRUE(tb.metrics().has("sim", "netbuf.slab_hits"));
+  EXPECT_TRUE(tb.metrics().has("sim", "netbuf.slab_misses"));
+
+  auto parsed = json::Value::parse(tb.metrics().to_json().dump());
+  ASSERT_TRUE(parsed.has_value());
+  const auto* sim_node = parsed->find("sim");
+  ASSERT_NE(sim_node, nullptr);
+  ASSERT_NE(sim_node->find("clamped_events"), nullptr);
+  EXPECT_EQ(std::uint64_t(sim_node->find("clamped_events")->as_int()),
+            tb.loop().clamped_events());
+}
+
 TEST(MetricsRoundTrip, ResetStatsZeroesTheWindow) {
   testbed::TestbedConfig cfg;
   cfg.volume_blocks = 8 * 1024;

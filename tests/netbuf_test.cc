@@ -9,6 +9,7 @@
 #include "netbuf/copy_engine.h"
 #include "netbuf/msg_buffer.h"
 #include "netbuf/net_buffer.h"
+#include "netbuf/slab_cache.h"
 
 namespace ncache::netbuf {
 namespace {
@@ -90,6 +91,70 @@ TEST(BufferPool, AdoptRejectsWhenFull) {
   auto buf = make_buffer(2048, 0);
   EXPECT_FALSE(pool.adopt(*buf));
   EXPECT_EQ(buf->pool(), nullptr);
+}
+
+TEST(BufferPool, AdoptAfterReleaseRebalancesInUse) {
+  BufferPool a("a", 1 << 20);
+  BufferPool b("b", 1 << 20);
+  auto buf = a.allocate(1000, 100);
+  ASSERT_TRUE(buf);
+  std::size_t charge = 1100 + BufferPool::kPerBufferOverhead;
+  EXPECT_EQ(a.in_use(), charge);
+  ASSERT_TRUE(b.adopt(*buf));  // moves the charge from a to b
+  EXPECT_EQ(a.in_use(), 0u);
+  EXPECT_EQ(b.in_use(), charge);
+  buf.reset();
+  EXPECT_EQ(b.in_use(), 0u);
+}
+
+TEST(SlabRecycling, PoolReusesReleasedStorage) {
+  BufferPool pool("p", 1 << 20);
+  SlabCache::process().drain();  // isolate from other tests' leftovers
+  auto a = pool.allocate(3333);  // odd size: class not shared with others
+  ASSERT_TRUE(a);
+  std::uint64_t miss0 = pool.slab_misses();
+  a.reset();
+  auto b = pool.allocate(3333);
+  ASSERT_TRUE(b);
+  EXPECT_GE(pool.recycled(), 1u);
+  EXPECT_EQ(pool.slab_misses(), miss0);  // second allocation hit the slab
+  EXPECT_EQ(pool.recycled() + pool.slab_misses(), pool.allocations());
+}
+
+TEST(SlabRecycling, MakeBufferReusesThroughProcessSlab) {
+  SlabCache& slab = SlabCache::process();
+  slab.drain();
+  auto a = make_buffer(7777, 0);
+  std::uint64_t hits0 = slab.hits();
+  a.reset();
+  auto b = make_buffer(7777, 0);
+  EXPECT_EQ(slab.hits(), hits0 + 1);
+}
+
+TEST(SlabRecycling, RecycledStorageComesBackZeroed) {
+  SlabCache::process().drain();
+  auto a = make_buffer(512, 16);
+  std::memset(a->put(512), 0xab, 512);
+  a.reset();
+  auto b = make_buffer(512, 16);  // same size class: recycles a's storage
+  const std::byte* raw = b->put(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    ASSERT_EQ(std::to_integer<int>(raw[i]), 0) << "offset " << i;
+  }
+}
+
+TEST(SlabRecycling, LogicalCapacityDecoupledFromSlabClass) {
+  // 3000 bytes lands in the 4096-byte slab class, but the buffer's
+  // capacity — and the pool's accounting — must stay at the requested
+  // logical size.
+  BufferPool pool("p", 1 << 20);
+  auto buf = pool.allocate(3000, 0);
+  ASSERT_TRUE(buf);
+  EXPECT_EQ(buf->capacity(), 3000u);
+  EXPECT_EQ(buf->tailroom(), 3000u);
+  EXPECT_EQ(pool.in_use(), 3000 + BufferPool::kPerBufferOverhead);
+  buf->put(3000);
+  EXPECT_THROW(buf->put(1), std::length_error);  // class slack unreachable
 }
 
 TEST(CacheKey, EqualityAndHashing) {

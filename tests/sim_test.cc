@@ -59,6 +59,75 @@ TEST(EventLoop, RunUntilStopsAtDeadline) {
   EXPECT_GE(loop.pending(), 1u);
 }
 
+TEST(EventLoop, SameTimeFifoAcrossCascadeInterleavings) {
+  // Two events for the same instant, scheduled from very different
+  // distances: the first lands on an upper wheel level and cascades down,
+  // the second is pushed directly near the deadline. FIFO by scheduling
+  // order must survive the cascade.
+  EventLoop loop;
+  std::vector<int> order;
+  const Time kT = 3 * kSecond + 12'345;  // upper-level slot from t=0
+  loop.schedule_at(kT, [&] { order.push_back(1); });
+  loop.run_until(kT - 100);              // cursor now close to kT
+  loop.schedule_at(kT, [&] { order.push_back(2); });
+  loop.schedule_at(kT, [&] { order.push_back(3); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, ScheduleEarlierThanPendingBatchFiresFirst) {
+  // run_until() may have peeked (forming the earliest ready batch) before
+  // a later schedule lands strictly between now and that batch: the
+  // newcomer must still fire first.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(1'000, [&] { order.push_back(2); });
+  loop.run_until(500);  // peeks at the t=1000 event, now()==500
+  loop.schedule_at(700, [&] { order.push_back(1); });
+  loop.schedule_at(1'000, [&] { order.push_back(3); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 1'000u);
+}
+
+TEST(EventLoop, ClampedEventsCounted) {
+  EventLoop loop;
+  EXPECT_EQ(loop.clamped_events(), 0u);
+  loop.schedule_at(100, [] {});
+  loop.run();
+  loop.schedule_at(40, [] {});  // past: clamps to now()==100
+  loop.schedule_at(99, [] {});  // past: clamps too
+  loop.schedule_at(100, [] {}); // exactly now: not a clamp
+  loop.run();
+  EXPECT_EQ(loop.clamped_events(), 2u);
+  EXPECT_EQ(loop.now(), 100u);
+}
+
+TEST(EventLoop, EventsBeyondWheelHorizonFireInOrder) {
+  // Deadlines past the wheel's ~68.7 s horizon wait in the overflow heap
+  // and must interleave correctly with near events.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(200 * kSecond, [&] { order.push_back(4); });
+  loop.schedule_at(100 * kSecond, [&] { order.push_back(3); });
+  loop.schedule_at(100 * kSecond - 1, [&] { order.push_back(2); });
+  loop.schedule_at(10, [&] {
+    order.push_back(1);
+    loop.schedule_at(200 * kSecond, [&] { order.push_back(5); });
+  });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(loop.now(), 200 * kSecond);
+}
+
+TEST(EventLoop, NullCallbackIsPureTimeMarker) {
+  EventLoop loop;
+  loop.schedule_at(500, nullptr);
+  EXPECT_EQ(loop.run(), 1u);
+  EXPECT_EQ(loop.now(), 500u);
+  EXPECT_EQ(loop.dispatched(), 1u);
+}
+
 TEST(EventLoop, NestedScheduling) {
   EventLoop loop;
   std::vector<int> order;

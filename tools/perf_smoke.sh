@@ -1,0 +1,24 @@
+#!/bin/sh
+# Wall-clock sanity gate for the hot-path microbenchmark: runs perf_core
+# --smoke twice and requires the two runs' wall rates to agree within
+# tools/perf_compare.py's tolerance. Two runs of the *same binary* only
+# drift when the machine is so loaded that timing is meaningless, so this
+# is a cheap self-consistency check that also exercises the comparison
+# tool end to end. Cross-PR comparisons run the same script against
+# bench/baselines/BENCH_perf_core.pre.json by hand (see README).
+#
+# Usage: perf_smoke.sh <perf_core-binary> <perf_compare.py> <workdir>
+set -eu
+
+BENCH="$1"
+COMPARE="$2"
+WORK="$3"
+
+rm -rf "$WORK"
+mkdir -p "$WORK/run1" "$WORK/run2"
+
+"$BENCH" --smoke --out="$WORK/run1" > "$WORK/run1.out"
+"$BENCH" --smoke --out="$WORK/run2" > "$WORK/run2.out"
+
+python3 "$COMPARE" "$WORK/run1/BENCH_perf_core.json" \
+                   "$WORK/run2/BENCH_perf_core.json"
