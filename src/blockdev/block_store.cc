@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/checksum.h"
 #include "common/metrics.h"
 
 namespace ncache::blockdev {
@@ -121,7 +122,23 @@ void BlockStore::check_range(std::uint64_t lbn, std::uint32_t count) const {
   }
 }
 
-Task<std::vector<std::byte>> BlockStore::read(std::uint64_t lbn,
+BlockStore::FaultWindow* BlockStore::find_fault(std::uint64_t lbn,
+                                                std::uint32_t count) {
+  for (FaultWindow& f : faults_) {
+    if (f.remaining == 0) continue;
+    if (lbn < f.lbn + f.count && f.lbn < lbn + count) return &f;
+  }
+  return nullptr;
+}
+
+void BlockStore::inject_read_fault(std::uint64_t lbn, std::uint32_t count,
+                                   DiskFaultKind kind, std::uint32_t times) {
+  check_range(lbn, count);
+  faults_.push_back(FaultWindow{lbn, count, kind, times});
+  verify_reads_ = true;
+}
+
+Task<BlockStore::ReadResult> BlockStore::read(std::uint64_t lbn,
                                               std::uint32_t count) {
   check_range(lbn, count);
   ++reads_;
@@ -131,7 +148,46 @@ Task<std::vector<std::byte>> BlockStore::read(std::uint64_t lbn,
                  [r] { (*r)(true); });
   });
   co_await io;
-  co_return peek(lbn, count);
+
+  FaultWindow* fault = find_fault(lbn, count);
+  if (fault) {
+    --fault->remaining;
+    if (fault->kind == DiskFaultKind::LatentSectorError) {
+      // The drive cannot return the sector at all: unrecovered read error.
+      ++read_errors_;
+      co_return ReadResult{{}, false};
+    }
+  }
+
+  ReadResult out{peek(lbn, count), true};
+  if (fault) {
+    // Silent corruption on the wire from the platter: flip one byte in the
+    // first faulted block of the range.
+    std::uint64_t bad = std::max(lbn, fault->lbn);
+    std::size_t at = std::size_t(bad - lbn) * kBlockSize;
+    out.data[at] ^= std::byte{0xFF};
+  }
+  if (verify_reads_) {
+    // End-to-end integrity: per-block CRC catches what the drive missed.
+    static const std::uint32_t kZeroCrc = [] {
+      std::vector<std::byte> z(kBlockSize);
+      return crc32(z);
+    }();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      auto it = crcs_.find(lbn + i);
+      std::uint32_t want = it != crcs_.end() ? it->second : kZeroCrc;
+      std::span<const std::byte> blk(out.data.data() +
+                                         std::size_t(i) * kBlockSize,
+                                     kBlockSize);
+      if (crc32(blk) != want) {
+        ++checksum_mismatches_;
+        ++read_errors_;
+        out.ok = false;
+        break;
+      }
+    }
+  }
+  co_return out;
 }
 
 Task<void> BlockStore::write(std::uint64_t lbn, std::vector<std::byte> data) {
@@ -157,6 +213,7 @@ void BlockStore::poke(std::uint64_t lbn, std::span<const std::byte> data) {
     auto& slot = blocks_[lbn + i];
     if (!slot) slot = std::make_unique<std::byte[]>(kBlockSize);
     std::memcpy(slot.get(), data.data() + i * kBlockSize, kBlockSize);
+    crcs_[lbn + i] = crc32({slot.get(), kBlockSize});
   }
 }
 
@@ -178,6 +235,9 @@ void BlockStore::register_metrics(MetricRegistry& registry,
                                   const std::string& node) {
   registry.counter(node, "disk.reads", [this] { return reads_; });
   registry.counter(node, "disk.writes", [this] { return writes_; });
+  registry.counter(node, "disk.read_errors", [this] { return read_errors_; });
+  registry.counter(node, "disk.checksum_mismatches",
+                   [this] { return checksum_mismatches_; });
   for (unsigned i = 0; i < raid_.disk_count(); ++i) {
     DiskModel* d = &raid_.disk(i);
     std::string prefix = "disk" + std::to_string(i);

@@ -78,19 +78,40 @@ class Raid0 {
   std::size_t stripe_unit_;
 };
 
+/// Injectable read-path disk faults (latent sector errors surface as a
+/// medium error; checksum mismatches deliver corrupt bytes that the
+/// per-block CRC catches).
+enum class DiskFaultKind : std::uint8_t {
+  LatentSectorError,
+  ChecksumMismatch,
+};
+
 /// The byte contents of the array plus RAID-0 timing: the storage server's
 /// complete disk subsystem. Contents are sparse (unwritten blocks read as
 /// zeros) so multi-GB volumes cost only what is touched.
 class BlockStore {
  public:
+  struct ReadResult {
+    std::vector<std::byte> data;  ///< empty on a latent sector error
+    bool ok = true;
+  };
+
   BlockStore(sim::EventLoop& loop, const sim::CostModel& costs,
              std::string name, std::uint64_t capacity_blocks,
              unsigned disks = 4);
 
   /// Asynchronous block read: bytes are produced after the RAID timing
-  /// elapses.
-  Task<std::vector<std::byte>> read(std::uint64_t lbn, std::uint32_t count);
+  /// elapses. `ok` is false when an armed fault fires on the range (or a
+  /// CRC verify catches corruption) — the medium-error path a real
+  /// initiator sees as CHECK CONDITION.
+  Task<ReadResult> read(std::uint64_t lbn, std::uint32_t count);
   Task<void> write(std::uint64_t lbn, std::vector<std::byte> data);
+
+  /// Arms a transient read fault: the next `times` reads overlapping
+  /// [lbn, lbn+count) fail with `kind`, then the range heals (transient
+  /// latent errors — a reread after remap/retry succeeds).
+  void inject_read_fault(std::uint64_t lbn, std::uint32_t count,
+                         DiskFaultKind kind, std::uint32_t times = 1);
 
   /// Synchronous accessors for test setup / mkfs-style population (no
   /// timing charged).
@@ -101,20 +122,40 @@ class BlockStore {
   Raid0& raid() noexcept { return raid_; }
   std::uint64_t reads() const noexcept { return reads_; }
   std::uint64_t writes() const noexcept { return writes_; }
+  std::uint64_t read_errors() const noexcept { return read_errors_; }
+  std::uint64_t checksum_mismatches() const noexcept {
+    return checksum_mismatches_;
+  }
 
   /// Publishes disk.* request counters and per-spindle utilization gauges
   /// under `node`; hooks the RAID stats reset into the registry reset.
   void register_metrics(MetricRegistry& registry, const std::string& node);
 
  private:
+  struct FaultWindow {
+    std::uint64_t lbn;
+    std::uint32_t count;
+    DiskFaultKind kind;
+    std::uint32_t remaining;
+  };
+
   void check_range(std::uint64_t lbn, std::uint32_t count) const;
+  /// The armed fault (if any) overlapping [lbn, lbn+count) with shots left.
+  FaultWindow* find_fault(std::uint64_t lbn, std::uint32_t count);
 
   sim::EventLoop& loop_;
   Raid0 raid_;
   std::uint64_t capacity_;
   std::unordered_map<std::uint64_t, std::unique_ptr<std::byte[]>> blocks_;
+  /// Per-block CRC32 maintained on every write; verified on read only once
+  /// fault injection has been armed (fault-free runs skip the scan).
+  std::unordered_map<std::uint64_t, std::uint32_t> crcs_;
+  std::vector<FaultWindow> faults_;
+  bool verify_reads_ = false;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
+  std::uint64_t read_errors_ = 0;
+  std::uint64_t checksum_mismatches_ = 0;
 };
 
 }  // namespace ncache::blockdev

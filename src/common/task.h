@@ -13,6 +13,7 @@
 #include <exception>
 #include <functional>
 #include <optional>
+#include <unordered_set>
 #include <utility>
 
 namespace ncache {
@@ -20,11 +21,48 @@ namespace ncache {
 template <typename T>
 class Task;
 
+/// Owns detached root coroutines that are still suspended at teardown.
+///
+/// A detached task normally destroys its own frame at final_suspend, but a
+/// daemon loop or in-flight exchange parked on an event that will never
+/// fire (the testbed is being torn down) would otherwise leak its frame —
+/// and everything the frame holds: sessions, buffers, child task frames.
+/// Destroying the registered root frame cascades, since frame locals own
+/// any child tasks. Completed tasks deregister themselves, so only frames
+/// genuinely stuck at teardown are reaped.
+class TaskReaper {
+ public:
+  TaskReaper() = default;
+  TaskReaper(const TaskReaper&) = delete;
+  TaskReaper& operator=(const TaskReaper&) = delete;
+  ~TaskReaper() { reap(); }
+
+  /// Destroys every registered root frame still suspended.
+  void reap() noexcept {
+    while (!roots_.empty()) {
+      auto it = roots_.begin();
+      void* addr = *it;
+      roots_.erase(it);
+      std::coroutine_handle<>::from_address(addr).destroy();
+    }
+  }
+
+  std::size_t pending() const noexcept { return roots_.size(); }
+
+  // Registration is managed by Task::detach and the final awaiter.
+  void add(std::coroutine_handle<> h) { roots_.insert(h.address()); }
+  void remove(std::coroutine_handle<> h) noexcept { roots_.erase(h.address()); }
+
+ private:
+  std::unordered_set<void*> roots_;
+};
+
 namespace detail {
 
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr error;
+  TaskReaper* reaper = nullptr;
   bool detached = false;
 
   std::suspend_always initial_suspend() noexcept { return {}; }
@@ -40,6 +78,7 @@ struct PromiseBase {
         // Root task: nobody awaits it. Surface swallowed exceptions hard —
         // a silently-dead daemon loop is the worst failure mode in a sim.
         if (p.error) std::rethrow_exception(p.error);
+        if (p.reaper) p.reaper->remove(h);
         h.destroy();
         return std::noop_coroutine();
       }
@@ -91,6 +130,16 @@ class [[nodiscard]] Task {
   void detach() && {
     auto h = std::exchange(handle_, {});
     h.promise().detached = true;
+    h.resume();
+  }
+
+  /// Like detach(), but registers the root frame with `reaper` so that a
+  /// frame still suspended when the reaper dies is destroyed, not leaked.
+  void detach(TaskReaper& reaper) && {
+    auto h = std::exchange(handle_, {});
+    h.promise().detached = true;
+    h.promise().reaper = &reaper;
+    reaper.add(h);
     h.resume();
   }
 
@@ -152,6 +201,16 @@ class [[nodiscard]] Task<void> {
   void detach() && {
     auto h = std::exchange(handle_, {});
     h.promise().detached = true;
+    h.resume();
+  }
+
+  /// Like detach(), but registers the root frame with `reaper` so that a
+  /// frame still suspended when the reaper dies is destroyed, not leaked.
+  void detach(TaskReaper& reaper) && {
+    auto h = std::exchange(handle_, {});
+    h.promise().detached = true;
+    h.promise().reaper = &reaper;
+    reaper.add(h);
     h.resume();
   }
 

@@ -31,17 +31,64 @@ void NCacheModule::attach_initiator(iscsi::IscsiInitiator& initiator) {
         remap_on_flush(target, lbn, payload);
       });
   initiator.set_lbn_probe([this, target](std::uint64_t lbn) {
+    maybe_recover();
+    if (degraded_) return false;  // fall through to the physical chain
     if (!cache_.contains_lbn(lbn, target)) return false;
     ++stats_.second_level_hits;
     return true;
   });
 }
 
+void NCacheModule::note_pressure() {
+  if (!degrade_.enabled) return;
+  sim::Time now = stack_.loop().now();
+  last_pressure_ = now;
+  if (degraded_) return;
+  pressure_events_.push_back(now);
+  sim::Time horizon =
+      now > degrade_.pressure_window ? now - degrade_.pressure_window : 0;
+  while (!pressure_events_.empty() && pressure_events_.front() < horizon) {
+    pressure_events_.pop_front();
+  }
+  if (pressure_events_.size() >= degrade_.pressure_threshold) {
+    degraded_ = true;
+    degraded_since_ = now;
+    pressure_events_.clear();
+    ++stats_.degrade_entries;
+    NC_WARN("ncache", "pressure spike: degrading to physical-copy path");
+  }
+}
+
+void NCacheModule::maybe_recover() {
+  if (!degraded_) return;
+  sim::Time now = stack_.loop().now();
+  if (now - degraded_since_ < degrade_.min_dwell) return;
+  if (now - last_pressure_ < degrade_.quiet_period) return;
+  degraded_ = false;
+  degraded_total_ns_ += now - degraded_since_;
+  ++stats_.degrade_exits;
+  NC_WARN("ncache", "pressure subsided: resuming logical-copy path");
+}
+
+sim::Duration NCacheModule::degraded_ns() const noexcept {
+  sim::Duration total = degraded_total_ns_;
+  if (degraded_) total += stack_.loop().now() - degraded_since_;
+  return total;
+}
+
 MsgBuffer NCacheModule::ingest_lbn(std::uint32_t target, std::uint64_t lbn,
                                    MsgBuffer chain) {
+  maybe_recover();
   auto len = std::uint32_t(chain.size());
+  if (degraded_) {
+    // Degraded: behave like the Original path — one physical copy up, no
+    // cache traffic, so replies carry real bytes regardless of pool state.
+    ++stats_.degraded_ingest_bypass;
+    return stack_.copier().copy_message(chain, netbuf::CopyClass::RegularData);
+  }
   LbnKey key{target, lbn};
   if (!cache_.insert_lbn(key, std::move(chain))) {
+    note_pressure();
     NC_WARN("ncache", "LBN ingest failed for block %llu; passing physical",
             static_cast<unsigned long long>(lbn));
     // Caller still needs the data; re-resolve (insert kept nothing).
@@ -55,8 +102,14 @@ MsgBuffer NCacheModule::ingest_lbn(std::uint32_t target, std::uint64_t lbn,
 }
 
 MsgBuffer NCacheModule::ingest_fho(FhoKey key, MsgBuffer chain) {
+  maybe_recover();
   auto len = std::uint32_t(chain.size());
+  if (degraded_) {
+    ++stats_.degraded_ingest_bypass;
+    return stack_.copier().copy_message(chain, netbuf::CopyClass::RegularData);
+  }
   if (!cache_.insert_fho(key, std::move(chain))) {
+    note_pressure();
     NC_WARN("ncache", "FHO ingest failed for %s", to_string(CacheKey(key)).c_str());
     return MsgBuffer::junk(len);
   }
@@ -92,6 +145,7 @@ bool NCacheModule::egress_filter(proto::Frame& frame) {
     auto cached = cache_.lookup(k->key);
     if (!cached || k->off + k->len > cached->size()) {
       ++stats_.substitution_misses;
+      note_pressure();
       NC_WARN("ncache", "egress key %s unresolved; junk substituted",
               to_string(k->key).c_str());
       rebuilt.append(MsgBuffer::junk(k->len));
@@ -121,6 +175,15 @@ void NCacheModule::register_metrics(MetricRegistry& registry,
                    [this] { return stats_.frames_passed; });
   registry.counter(node, "ncache.second_level_hits",
                    [this] { return stats_.second_level_hits; });
+  registry.counter(node, "ncache.degrade_entries",
+                   [this] { return stats_.degrade_entries; });
+  registry.counter(node, "ncache.degrade_exits",
+                   [this] { return stats_.degrade_exits; });
+  registry.counter(node, "ncache.degraded_ingest_bypass",
+                   [this] { return stats_.degraded_ingest_bypass; });
+  registry.gauge(node, "ncache.degraded", [this] { return degraded_ ? 1.0 : 0.0; });
+  registry.counter(node, "ncache.degraded_ns",
+                   [this] { return std::uint64_t(degraded_ns()); });
   registry.on_reset([this] { reset_stats(); });
   cache_.register_metrics(registry, node, "ncache.cache");
 }

@@ -16,6 +16,8 @@
 //     buffer cache").
 #pragma once
 
+#include <deque>
+
 #include "core/net_centric_cache.h"
 #include "iscsi/initiator.h"
 #include "proto/stack.h"
@@ -28,10 +30,26 @@ struct ModuleStats {
   std::uint64_t substitution_misses = 0;  ///< key evicted before egress
   std::uint64_t frames_passed = 0;        ///< frames with no keys (metadata)
   std::uint64_t second_level_hits = 0;    ///< initiator reads served locally
+  std::uint64_t degrade_entries = 0;      ///< times the module fell back
+  std::uint64_t degrade_exits = 0;        ///< times it recovered
+  std::uint64_t degraded_ingest_bypass = 0;  ///< ingests served physically
 };
 
 class NCacheModule {
  public:
+  /// Graceful-degradation policy: when the pinned pool is exhausted or
+  /// substitution misses spike (`pressure_threshold` events inside
+  /// `pressure_window`), the module falls back to the physical-copy
+  /// Original path. It stays degraded at least `min_dwell` (hysteresis)
+  /// and recovers once `quiet_period` passes with no new pressure.
+  struct DegradeConfig {
+    bool enabled = true;
+    std::size_t pressure_threshold = 8;
+    sim::Duration pressure_window = 50 * sim::kMillisecond;
+    sim::Duration min_dwell = 200 * sim::kMillisecond;
+    sim::Duration quiet_period = 100 * sim::kMillisecond;
+  };
+
   NCacheModule(proto::NetworkStack& stack, NetCentricCache::Config config);
 
   /// Installs the egress interceptor on every NIC of the host stack.
@@ -63,14 +81,33 @@ class NCacheModule {
   const ModuleStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = ModuleStats{}; }
 
+  bool degraded() const noexcept { return degraded_; }
+  DegradeConfig& degrade_config() noexcept { return degrade_; }
+  /// Total time spent degraded, including the current stretch.
+  sim::Duration degraded_ns() const noexcept;
+
   /// Publishes ncache.* module counters (and the underlying cache's
   /// counters/gauges) under `node`.
   void register_metrics(MetricRegistry& registry, const std::string& node);
 
  private:
+  /// Records one pressure event (insert failure / substitution miss) and
+  /// enters degraded mode when the rolling window trips.
+  void note_pressure();
+  /// Lazy recovery check on every hook call: leave degraded mode once the
+  /// dwell and quiet conditions hold.
+  void maybe_recover();
+
   proto::NetworkStack& stack_;
   NetCentricCache cache_;
   ModuleStats stats_;
+
+  DegradeConfig degrade_;
+  bool degraded_ = false;
+  std::deque<sim::Time> pressure_events_;  ///< rolling window
+  sim::Time degraded_since_ = 0;
+  sim::Time last_pressure_ = 0;
+  sim::Duration degraded_total_ns_ = 0;
 };
 
 }  // namespace ncache::core

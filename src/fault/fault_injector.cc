@@ -1,0 +1,126 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace ncache::fault {
+
+void FaultInjector::at(sim::Time when, std::function<void()> action) {
+  sim::Time t = std::max(when, loop_.now());
+  loop_.schedule_at(t, [this, fn = std::move(action)] {
+    ++stats_.events_fired;
+    fn();
+  });
+}
+
+void FaultInjector::link_down(sim::Link& link, sim::Time at,
+                              sim::Duration duration) {
+  sim::Link* l = &link;
+  this->at(at, [this, l] {
+    l->set_admin_up(false);
+    ++stats_.link_downs;
+  });
+  this->at(at + duration, [this, l] {
+    l->set_admin_up(true);
+    ++stats_.link_ups;
+  });
+}
+
+void FaultInjector::duplex_down(sim::DuplexLink& cable, sim::Time at,
+                                sim::Duration duration) {
+  link_down(cable.a_to_b, at, duration);
+  link_down(cable.b_to_a, at, duration);
+}
+
+void FaultInjector::burst_loss(sim::Link& link, sim::Time at,
+                               sim::Duration duration,
+                               GilbertElliott::Params params) {
+  // Stream seed mixes the injector seed with the stream ordinal so every
+  // window draws from its own independent, reproducible sequence.
+  std::uint64_t stream_seed =
+      seed_ ^ (0x9e3779b97f4a7c15ULL * (next_stream_ + 1));
+  ++next_stream_;
+  streams_.push_back(std::make_unique<GilbertElliott>(params, stream_seed));
+  GilbertElliott* ge = streams_.back().get();
+
+  sim::Link* l = &link;
+  this->at(at, [this, l, ge] {
+    l->set_drop_hook([ge](std::size_t) { return ge->drop(); });
+    ++stats_.burst_windows;
+  });
+  this->at(at + duration, [l] { l->set_drop_hook(nullptr); });
+}
+
+void FaultInjector::duplex_burst_loss(sim::DuplexLink& cable, sim::Time at,
+                                      sim::Duration duration,
+                                      GilbertElliott::Params params) {
+  burst_loss(cable.a_to_b, at, duration, params);
+  burst_loss(cable.b_to_a, at, duration, params);
+}
+
+std::uint64_t FaultInjector::frames_dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : streams_) total += s->dropped();
+  return total;
+}
+
+void FaultInjector::register_metrics(MetricRegistry& registry,
+                                     const std::string& node) {
+  registry.counter(node, "fault.events_fired",
+                   [this] { return stats_.events_fired; });
+  registry.counter(node, "fault.link_downs",
+                   [this] { return stats_.link_downs; });
+  registry.counter(node, "fault.link_ups", [this] { return stats_.link_ups; });
+  registry.counter(node, "fault.burst_windows",
+                   [this] { return stats_.burst_windows; });
+  registry.counter(node, "fault.frames_dropped",
+                   [this] { return frames_dropped(); });
+}
+
+FaultPlan& FaultPlan::link_down(sim::Link& link, sim::Time at,
+                                sim::Duration duration) {
+  entries_.push_back([&link, at, duration](FaultInjector& inj) {
+    inj.link_down(link, at, duration);
+  });
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplex_down(sim::DuplexLink& cable, sim::Time at,
+                                  sim::Duration duration) {
+  entries_.push_back([&cable, at, duration](FaultInjector& inj) {
+    inj.duplex_down(cable, at, duration);
+  });
+  return *this;
+}
+
+FaultPlan& FaultPlan::burst_loss(sim::Link& link, sim::Time at,
+                                 sim::Duration duration,
+                                 GilbertElliott::Params params) {
+  entries_.push_back([&link, at, duration, params](FaultInjector& inj) {
+    inj.burst_loss(link, at, duration, params);
+  });
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplex_burst_loss(sim::DuplexLink& cable, sim::Time at,
+                                        sim::Duration duration,
+                                        GilbertElliott::Params params) {
+  entries_.push_back([&cable, at, duration, params](FaultInjector& inj) {
+    inj.duplex_burst_loss(cable, at, duration, params);
+  });
+  return *this;
+}
+
+FaultPlan& FaultPlan::action(sim::Time at, std::function<void()> fn) {
+  entries_.push_back([at, fn = std::move(fn)](FaultInjector& inj) {
+    inj.at(at, fn);
+  });
+  return *this;
+}
+
+void FaultPlan::apply(FaultInjector& injector) const {
+  for (const auto& e : entries_) e(injector);
+}
+
+}  // namespace ncache::fault

@@ -1,0 +1,102 @@
+// Deterministic, seeded fault injection scheduled on the event loop.
+//
+// FaultInjector owns the clock-driven mechanics: arm a link-down window,
+// attach a Gilbert–Elliott loss process to a hop, or fire an arbitrary
+// fault action (node crash, disk fault) at a scripted instant. Every
+// random decision derives from the injector seed plus a per-stream
+// counter, so the same plan on the same seed replays bit-for-bit.
+//
+// FaultPlan is the declarative layer: a scenario script built up from
+// windows and actions, applied to an injector in one shot. Benches and
+// tests describe *what* goes wrong and when; the injector decides nothing
+// on its own.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/gilbert_elliott.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+
+namespace ncache {
+class MetricRegistry;
+}
+
+namespace ncache::fault {
+
+struct FaultStats {
+  std::uint64_t events_fired = 0;  ///< scripted actions executed
+  std::uint64_t link_downs = 0;    ///< admin-down transitions applied
+  std::uint64_t link_ups = 0;      ///< admin-up (recovery) transitions
+  std::uint64_t burst_windows = 0; ///< GE windows armed
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::EventLoop& loop, std::uint64_t seed)
+      : loop_(loop), seed_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Fires `action` at absolute sim time `when` (clamped to now if past).
+  void at(sim::Time when, std::function<void()> action);
+
+  /// Admin-down on one direction for [at, at+duration).
+  void link_down(sim::Link& link, sim::Time at, sim::Duration duration);
+  /// Both directions of a cable — the usual "cable pulled" flap.
+  void duplex_down(sim::DuplexLink& cable, sim::Time at,
+                   sim::Duration duration);
+
+  /// Gilbert–Elliott burst loss on `link` during [at, at+duration). The
+  /// stream's RNG seeds from (injector seed, stream ordinal), so adding a
+  /// window never perturbs the draws of earlier windows.
+  void burst_loss(sim::Link& link, sim::Time at, sim::Duration duration,
+                  GilbertElliott::Params params);
+  void duplex_burst_loss(sim::DuplexLink& cable, sim::Time at,
+                         sim::Duration duration,
+                         GilbertElliott::Params params);
+
+  const FaultStats& stats() const noexcept { return stats_; }
+  /// Frames eaten by every GE stream this injector armed.
+  std::uint64_t frames_dropped() const noexcept;
+
+  /// Publishes fault.* counters under `node`.
+  void register_metrics(MetricRegistry& registry, const std::string& node);
+
+  sim::EventLoop& loop() noexcept { return loop_; }
+
+ private:
+  sim::EventLoop& loop_;
+  std::uint64_t seed_;
+  std::uint64_t next_stream_ = 0;
+  std::vector<std::unique_ptr<GilbertElliott>> streams_;
+  FaultStats stats_;
+};
+
+/// A scripted fault scenario: built declaratively, applied in one shot.
+class FaultPlan {
+ public:
+  FaultPlan& link_down(sim::Link& link, sim::Time at, sim::Duration duration);
+  FaultPlan& duplex_down(sim::DuplexLink& cable, sim::Time at,
+                         sim::Duration duration);
+  FaultPlan& burst_loss(sim::Link& link, sim::Time at, sim::Duration duration,
+                        GilbertElliott::Params params);
+  FaultPlan& duplex_burst_loss(sim::DuplexLink& cable, sim::Time at,
+                               sim::Duration duration,
+                               GilbertElliott::Params params);
+  /// Arbitrary scripted action (node crash, disk fault, ...).
+  FaultPlan& action(sim::Time at, std::function<void()> fn);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  void apply(FaultInjector& injector) const;
+
+ private:
+  std::vector<std::function<void(FaultInjector&)>> entries_;
+};
+
+}  // namespace ncache::fault

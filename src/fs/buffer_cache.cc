@@ -279,7 +279,7 @@ Task<void> BufferCache::flush_all() {
         co_await self->flush_block(std::move(blk));
         --*in_flight;
       };
-      runner(this, std::move(b), &inflight).detach();
+      runner(this, std::move(b), &inflight).detach(loop_.reaper());
     }
     if (inflight > 0) {
       co_await sim::sleep_for(loop_, 200 * sim::kMicrosecond);
@@ -296,6 +296,15 @@ Task<void> BufferCache::drop_all() {
     lru_.remove(*b);
     map_.erase(b->lbn);
   }
+}
+
+void BufferCache::discard_all() {
+  for (auto& [lbn, b] : map_) {
+    b->dirty = false;  // do NOT flush: the crash already lost these bytes
+    b->valid = false;
+    lru_.remove(*b);
+  }
+  map_.clear();
 }
 
 void BufferCache::register_metrics(MetricRegistry& registry,

@@ -90,6 +90,9 @@ class BufferCache {
   Task<void> flush_all();
   /// Drops every clean block (testing). Dirty blocks are flushed first.
   Task<void> drop_all();
+  /// Crash semantics: every block vanishes, dirty ones included — nothing
+  /// is flushed. External holders keep their (now invalidated) pins.
+  void discard_all();
 
   bool contains(std::uint64_t lbn) const { return map_.contains(lbn); }
   std::size_t size() const noexcept { return map_.size(); }

@@ -42,9 +42,16 @@ void KHttpd::on_accept(proto::TcpConnectionPtr conn) {
   ++stats_.connections;
   stack_.cpu().charge(stack_.costs().tcp_connection_ns);
   auto c = std::make_shared<Connection>(*this, std::move(conn));
-  c->sock.conn().set_data_handler(
-      [c](MsgBuffer m) { c->on_data(std::move(m)); });
-  c->sock.conn().set_on_close([this, c] { std::erase(connections_, c); });
+  // Weak: the handler slots live on the connection and the Connection
+  // holds that connection — strong captures would tie a cycle.
+  // connections_ owns it; in-flight responses pin it via shared_from_this.
+  std::weak_ptr<Connection> weak = c;
+  c->sock.conn().set_data_handler([weak](MsgBuffer m) {
+    if (auto s = weak.lock()) s->on_data(std::move(m));
+  });
+  c->sock.conn().set_on_close([this, weak] {
+    if (auto s = weak.lock()) std::erase(connections_, s);
+  });
   connections_.push_back(std::move(c));
 }
 
@@ -83,7 +90,7 @@ void KHttpd::Connection::pump() {
   busy = true;
   std::string path = std::move(pipeline.front());
   pipeline.pop_front();
-  serve_and_continue(std::move(path)).detach();
+  serve_and_continue(std::move(path)).detach(server.stack_.loop().reaper());
 }
 
 Task<void> KHttpd::Connection::serve_and_continue(std::string path) {

@@ -1,6 +1,9 @@
 #include "iscsi/initiator.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace ncache::iscsi {
 
@@ -16,19 +19,148 @@ IscsiInitiator::IscsiInitiator(proto::NetworkStack& stack,
       local_ip_(local_ip),
       target_ip_(target_ip),
       target_id_(target_id),
-      target_port_(target_port) {}
+      target_port_(target_port),
+      rng_(0x15ca51u ^ (std::uint64_t(target_id) << 32) ^ local_ip,
+           target_id) {}
 
 Task<bool> IscsiInitiator::login() {
+  down_ = false;
+  co_return co_await establish();
+}
+
+Task<bool> IscsiInitiator::establish() {
+  parser_ = PduParser{};  // drop any half-framed bytes from the old session
   conn_ = co_await stack_.tcp_connect(local_ip_, target_ip_, target_port_);
   conn_->set_data_handler(
       [this](MsgBuffer m) { on_stream(std::move(m)); });
+  conn_->set_on_close([this] { on_conn_closed(); });
 
   Pdu req;
   req.opcode = Opcode::LoginRequest;
   req.data = MsgBuffer::from_string(
       "InitiatorName=iqn.2005.ncache:appserver MaxRecvDataSegmentLength=8192");
   Pdu resp = co_await send_and_wait(std::move(req));
-  co_return resp.opcode == Opcode::LoginResponse;
+  pending_.erase(resp.itt);
+  bool ok = resp.opcode == Opcode::LoginResponse;
+  if (ok) replay_pending();
+  co_return ok;
+}
+
+void IscsiInitiator::on_conn_closed() {
+  // The peer reset/closed under us; recover unless deliberately down.
+  conn_.reset();
+  handle_session_down(/*allow_reconnect=*/!down_, /*fail_all=*/down_);
+}
+
+void IscsiInitiator::abort_session(bool allow_reconnect) {
+  down_ = !allow_reconnect;
+  if (conn_) {
+    auto old = std::move(conn_);
+    conn_.reset();
+    old->set_on_close(nullptr);  // we handle the death below, once
+    old->set_data_handler(nullptr);
+    old->reset();  // RST to the target; its session state evaporates
+  }
+  handle_session_down(allow_reconnect, /*fail_all=*/!allow_reconnect);
+}
+
+void IscsiInitiator::handle_session_down(bool allow_reconnect, bool fail_all) {
+  ++stats_.session_drops;
+  parser_ = PduParser{};
+  // Partially-accumulated Data-In is worthless: replay re-reads everything.
+  std::vector<std::uint32_t> doomed;
+  for (auto& [itt, p] : pending_) {
+    p.accumulated = MsgBuffer{};
+    if (fail_all || !p.replayable) doomed.push_back(itt);
+  }
+  std::sort(doomed.begin(), doomed.end());  // deterministic waiter wakeups
+  for (std::uint32_t itt : doomed) {
+    auto it = pending_.find(itt);
+    Pdu fail;
+    fail.opcode = Opcode::ScsiResponse;
+    fail.status = ScsiStatus::CheckCondition;
+    fail.itt = itt;
+    if (it->second.on_response) {
+      auto handler = std::move(it->second.on_response);
+      pending_.erase(it);
+      handler(std::move(fail));
+    } else {
+      it->second.early_response = std::move(fail);
+      it->second.replayable = false;
+    }
+  }
+  if (allow_reconnect && recovery_.auto_reconnect && !reconnecting_) {
+    reconnecting_ = true;
+    reconnect_loop().detach(stack_.loop().reaper());
+  }
+}
+
+Task<void> IscsiInitiator::reconnect_loop() {
+  sim::Duration backoff = recovery_.initial_backoff;
+  for (;;) {
+    // ±25% deterministic jitter decorrelates initiators sharing a fabric.
+    auto jitter = sim::Duration(double(backoff) * (rng_.uniform() * 0.5 - 0.25));
+    co_await sim::sleep_for(stack_.loop(), backoff + jitter);
+    if (down_) break;
+    ++stats_.login_attempts;
+    if (co_await establish()) {
+      ++stats_.relogins;
+      break;
+    }
+    backoff = std::min<sim::Duration>(backoff * 2, recovery_.max_backoff);
+  }
+  reconnecting_ = false;
+}
+
+void IscsiInitiator::replay_pending() {
+  std::vector<std::uint32_t> itts;
+  for (const auto& [itt, p] : pending_) {
+    if (p.replayable) itts.push_back(itt);
+  }
+  std::sort(itts.begin(), itts.end());  // hash order is not deterministic
+  for (std::uint32_t itt : itts) {
+    Pending& p = pending_[itt];
+    p.deadline = stack_.loop().now() + recovery_.command_timeout;
+    ++stats_.replays;
+    for (const Pdu& f : p.frames) conn_->send(f.to_stream());
+  }
+  if (!itts.empty()) arm_watchdog();
+}
+
+void IscsiInitiator::arm_watchdog() {
+  if (watchdog_armed_) return;
+  sim::Time earliest = 0;
+  bool any = false;
+  for (const auto& [itt, p] : pending_) {
+    if (p.replayable && (!any || p.deadline < earliest)) {
+      earliest = p.deadline;
+      any = true;
+    }
+  }
+  if (!any) return;
+  watchdog_armed_ = true;
+  stack_.loop().schedule_at(earliest, [this] { watchdog_fire(); });
+}
+
+void IscsiInitiator::watchdog_fire() {
+  watchdog_armed_ = false;
+  if (down_) return;
+  sim::Time now = stack_.loop().now();
+  bool expired = false;
+  for (const auto& [itt, p] : pending_) {
+    if (p.replayable && now >= p.deadline) {
+      expired = true;
+      break;
+    }
+  }
+  if (expired && conn_) {
+    // The session has gone quiet past the command timeout: declare it dead
+    // and run session recovery (re-login + replay).
+    ++stats_.command_timeouts;
+    abort_session(/*allow_reconnect=*/true);
+    return;
+  }
+  arm_watchdog();
 }
 
 void IscsiInitiator::on_stream(MsgBuffer chunk) {
@@ -44,6 +176,8 @@ void IscsiInitiator::on_pdu(Pdu pdu) {
   }
   if (pdu.opcode == Opcode::ScsiDataIn) {
     it->second.accumulated.append(std::move(pdu.data));
+    // Data-In counts as progress: a slow large transfer is not a dead one.
+    it->second.deadline = stack_.loop().now() + recovery_.command_timeout;
     return;
   }
   // Terminal PDU for this task.
@@ -59,8 +193,26 @@ std::uint32_t IscsiInitiator::send_tracked(Pdu pdu) {
   pdu.itt = next_itt_++;
   pdu.cmd_sn = cmd_sn_++;
   std::uint32_t itt = pdu.itt;
-  pending_[itt];  // create the slot before the response can race in
-  conn_->send(pdu.to_stream());
+  Pending& slot = pending_[itt];  // create before the response can race in
+  slot.replayable = pdu.opcode == Opcode::ScsiCommand;
+  if (slot.replayable) {
+    slot.deadline = stack_.loop().now() + recovery_.command_timeout;
+    slot.frames.push_back(pdu);  // copy kept for session-recovery replay
+  }
+  if (conn_) {
+    conn_->send(pdu.to_stream());
+  } else if (!slot.replayable) {
+    // No session and nothing to replay it on: fail the waiter instead of
+    // hanging it (login sends on the fresh connection it just made, so
+    // only pings land here).
+    Pdu fail;
+    fail.opcode = Opcode::ScsiResponse;
+    fail.status = ScsiStatus::CheckCondition;
+    fail.itt = itt;
+    slot.early_response = std::move(fail);
+  }
+  // else: parked; replay_pending() ships it after the next login.
+  if (slot.replayable) arm_watchdog();
   return itt;
 }
 
@@ -124,21 +276,34 @@ Task<MsgBuffer> IscsiInitiator::read_blocks(std::uint64_t lbn,
     }
   }
 
-  Pdu cmd;
-  cmd.opcode = Opcode::ScsiCommand;
-  cmd.expected_length = count * std::uint32_t(kScsiBlockSize);
-  cmd.cdb = make_rw_cdb(
-      ScsiRw{false, std::uint32_t(lbn), std::uint16_t(count)});
-
   ++stats_.reads;
-  Pdu resp = co_await send_and_wait(std::move(cmd));
-  MsgBuffer chain = std::move(pending_[resp.itt].accumulated);
-  pending_.erase(resp.itt);
+  MsgBuffer chain;
+  unsigned attempt = 0;
+  for (;;) {
+    Pdu cmd;
+    cmd.opcode = Opcode::ScsiCommand;
+    cmd.expected_length = count * std::uint32_t(kScsiBlockSize);
+    cmd.cdb = make_rw_cdb(
+        ScsiRw{false, std::uint32_t(lbn), std::uint16_t(count)});
+    Pdu resp = co_await send_and_wait(std::move(cmd));
+    chain = std::move(pending_[resp.itt].accumulated);
+    pending_.erase(resp.itt);
 
-  if (resp.status != ScsiStatus::Good ||
-      chain.size() != count * kScsiBlockSize) {
-    ++stats_.errors;
-    co_return MsgBuffer{};
+    if (resp.status == ScsiStatus::Good &&
+        chain.size() == count * kScsiBlockSize) {
+      break;
+    }
+    // CHECK CONDITION (media error, or a session that died without
+    // reconnect): retry with capped exponential backoff — latent sector
+    // errors are transient, a reread usually lands.
+    if (attempt >= recovery_.max_read_retries) {
+      ++stats_.errors;
+      co_return MsgBuffer{};
+    }
+    ++stats_.io_retries;
+    co_await sim::sleep_for(stack_.loop(),
+                            recovery_.read_retry_backoff << attempt);
+    ++attempt;
   }
   stats_.read_bytes += chain.size();
 
@@ -231,7 +396,8 @@ Task<bool> IscsiInitiator::write_blocks(std::uint64_t lbn, MsgBuffer data,
     dout.buffer_offset = off;
     dout.final_flag = off + take == wire.size();
     dout.data = wire.slice(off, take);
-    conn_->send(dout.to_stream());
+    pending_[itt].frames.push_back(dout);  // whole transfer replays together
+    if (conn_) conn_->send(dout.to_stream());
     off += take;
   }
 
@@ -240,14 +406,33 @@ Task<bool> IscsiInitiator::write_blocks(std::uint64_t lbn, MsgBuffer data,
   co_return resp.status == ScsiStatus::Good;
 }
 
+void IscsiInitiator::register_metrics(MetricRegistry& registry,
+                                      const std::string& node) {
+  registry.counter(node, "iscsi.session_drops",
+                   [this] { return stats_.session_drops; });
+  registry.counter(node, "iscsi.command_timeouts",
+                   [this] { return stats_.command_timeouts; });
+  registry.counter(node, "iscsi.login_attempts",
+                   [this] { return stats_.login_attempts; });
+  registry.counter(node, "iscsi.relogins", [this] { return stats_.relogins; });
+  registry.counter(node, "iscsi.replays", [this] { return stats_.replays; });
+  registry.counter(node, "iscsi.io_retries",
+                   [this] { return stats_.io_retries; });
+  registry.counter(node, "iscsi.errors", [this] { return stats_.errors; });
+}
+
 // ---------------------------------------------------------------------------
 
 Task<MsgBuffer> LocalBlockClient::read_blocks(std::uint64_t lbn,
                                               std::uint32_t count,
                                               bool metadata) {
-  auto bytes = co_await store_.read(lbn, count);
+  auto result = co_await store_.read(lbn, count);
+  if (!result.ok) {
+    // Unit-test-only path with no retry machinery: surface loudly.
+    throw std::runtime_error("LocalBlockClient: unrecovered disk read fault");
+  }
   co_return copier_.copy_bytes_in(
-      bytes, metadata ? CopyClass::Metadata : CopyClass::RegularData);
+      result.data, metadata ? CopyClass::Metadata : CopyClass::RegularData);
 }
 
 Task<bool> LocalBlockClient::write_blocks(std::uint64_t lbn, MsgBuffer data,

@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "blockdev/block_store.h"
+#include "common/rng.h"
 #include "iscsi/pdu.h"
 #include "proto/stack.h"
 
@@ -54,6 +55,12 @@ struct InitiatorStats {
   std::uint64_t ingests = 0;
   std::uint64_t remaps = 0;
   std::uint64_t errors = 0;
+  std::uint64_t session_drops = 0;     ///< sessions declared dead
+  std::uint64_t command_timeouts = 0;  ///< watchdog expiries that killed one
+  std::uint64_t login_attempts = 0;    ///< reconnect tries (incl. failures)
+  std::uint64_t relogins = 0;          ///< successful session re-logins
+  std::uint64_t replays = 0;           ///< commands replayed after re-login
+  std::uint64_t io_retries = 0;        ///< reads retried on CHECK CONDITION
 };
 
 class IscsiInitiator final : public BlockClient {
@@ -67,13 +74,35 @@ class IscsiInitiator final : public BlockClient {
   /// network-centric cache acting as second-level cache, §3.4).
   using LbnProbe = std::function<bool(std::uint64_t lbn)>;
 
+  /// Session-recovery policy (all delays in sim nanoseconds, all decisions
+  /// deterministic).
+  struct RecoveryConfig {
+    bool auto_reconnect = true;
+    /// A tracked command with no response (or Data-In progress) for this
+    /// long declares the session dead and triggers recovery.
+    sim::Duration command_timeout = 2 * sim::kSecond;
+    sim::Duration initial_backoff = 10 * sim::kMillisecond;
+    sim::Duration max_backoff = 640 * sim::kMillisecond;
+    unsigned max_read_retries = 4;  ///< rereads after CHECK CONDITION
+    sim::Duration read_retry_backoff = 5 * sim::kMillisecond;
+  };
+
   IscsiInitiator(proto::NetworkStack& stack, proto::Ipv4Addr local_ip,
                  proto::Ipv4Addr target_ip, std::uint32_t target_id,
                  std::uint16_t target_port = kIscsiPort);
 
-  /// Connects the TCP session and performs login. Must complete before I/O.
+  /// Connects the TCP session and performs login; on success any commands
+  /// parked while disconnected are replayed. Must complete before I/O.
   Task<bool> login();
   bool connected() const noexcept { return conn_ && conn_->established(); }
+
+  /// Tears the session down (RST to the target). With `allow_reconnect`
+  /// the re-login loop starts with capped exponential backoff and in-flight
+  /// commands replay after login; without it (node crash) every in-flight
+  /// command fails and the initiator stays down until login() is called.
+  void abort_session(bool allow_reconnect = true);
+
+  RecoveryConfig& recovery() noexcept { return recovery_; }
 
   Task<netbuf::MsgBuffer> read_blocks(std::uint64_t lbn, std::uint32_t count,
                                       bool metadata) override;
@@ -92,11 +121,17 @@ class IscsiInitiator final : public BlockClient {
   std::uint32_t target_id() const noexcept { return target_id_; }
   const InitiatorStats& stats() const noexcept { return stats_; }
 
+  /// Publishes iscsi.* counters (including the recovery ones) under `node`.
+  void register_metrics(MetricRegistry& registry, const std::string& node);
+
  private:
   struct Pending {
     netbuf::MsgBuffer accumulated;
     std::function<void(Pdu)> on_response;  ///< fires on ScsiResponse/NopIn/LoginResponse
     std::optional<Pdu> early_response;     ///< response beat the waiter
+    std::vector<Pdu> frames;  ///< command (+ Data-Out) kept for replay
+    bool replayable = false;  ///< SCSI commands replay; login/nop fail fast
+    sim::Time deadline = 0;   ///< watchdog expiry (replayable only)
   };
 
   void on_stream(netbuf::MsgBuffer chunk);
@@ -105,6 +140,18 @@ class IscsiInitiator final : public BlockClient {
   std::uint32_t send_tracked(Pdu pdu);
   Task<Pdu> wait_response(std::uint32_t itt);
   Task<Pdu> send_and_wait(Pdu pdu);
+
+  /// TCP connect + login exchange + replay of parked commands.
+  Task<bool> establish();
+  void on_conn_closed();
+  /// Common session-death path: clears framing state, fails waiters that
+  /// cannot replay (all of them when `fail_all`), optionally starts the
+  /// reconnect loop.
+  void handle_session_down(bool allow_reconnect, bool fail_all);
+  Task<void> reconnect_loop();
+  void replay_pending();
+  void arm_watchdog();
+  void watchdog_fire();
 
   proto::NetworkStack& stack_;
   proto::Ipv4Addr local_ip_;
@@ -117,6 +164,12 @@ class IscsiInitiator final : public BlockClient {
   std::unordered_map<std::uint32_t, Pending> pending_;
   std::uint32_t next_itt_ = 1;
   std::uint32_t cmd_sn_ = 1;
+
+  RecoveryConfig recovery_;
+  Pcg32 rng_{0x15ca51};  ///< backoff jitter; reseeded per-initiator below
+  bool reconnecting_ = false;
+  bool watchdog_armed_ = false;
+  bool down_ = false;  ///< deliberately aborted; no auto-reconnect
 
   PayloadPolicy policy_ = PayloadPolicy::Copy;
   IngestHook ingest_;

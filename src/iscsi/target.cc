@@ -18,10 +18,17 @@ void IscsiTarget::start() {
 
 void IscsiTarget::on_accept(proto::TcpConnectionPtr conn) {
   auto session = std::make_shared<Session>(*this, std::move(conn));
-  session->conn->set_data_handler(
-      [session](MsgBuffer m) { session->on_data(std::move(m)); });
-  session->conn->set_on_close([this, session] {
-    std::erase(sessions_, session);
+  // The connection's handler slots are never cleared (they live as long as
+  // the TcpConnection), and the session holds the connection — so these
+  // captures must be weak or they tie a Session<->TcpConnection cycle.
+  // sessions_ owns the session; in-flight I/O coroutines pin it via
+  // shared_from_this().
+  std::weak_ptr<Session> weak = session;
+  session->conn->set_data_handler([weak](MsgBuffer m) {
+    if (auto s = weak.lock()) s->on_data(std::move(m));
+  });
+  session->conn->set_on_close([this, weak] {
+    if (auto s = weak.lock()) std::erase(sessions_, s);
   });
   sessions_.push_back(std::move(session));
 }
@@ -86,10 +93,10 @@ void IscsiTarget::Session::handle(Pdu pdu) {
         std::uint32_t itt = pdu.itt;
         writes[itt] = std::move(ws);
         if (writes[itt].accumulated.size() >= writes[itt].expected) {
-          do_write_complete(itt).detach();
+          do_write_complete(itt).detach(target.stack_.loop().reaper());
         }
       } else {
-        do_read(std::move(pdu), *rw).detach();
+        do_read(std::move(pdu), *rw).detach(target.stack_.loop().reaper());
       }
       return;
     }
@@ -101,7 +108,7 @@ void IscsiTarget::Session::handle(Pdu pdu) {
       }
       it->second.accumulated.append(std::move(pdu.data));
       if (it->second.accumulated.size() >= it->second.expected) {
-        do_write_complete(pdu.itt).detach();
+        do_write_complete(pdu.itt).detach(target.stack_.loop().reaper());
       }
       return;
     }
@@ -142,8 +149,15 @@ Task<void> IscsiTarget::Session::do_read(Pdu cmd, ScsiRw rw) {
   }
 
   if (!all_hit) {
-    std::vector<std::byte> bytes =
-        co_await target.store_.read(rw.lba, rw.blocks);
+    auto result = co_await target.store_.read(rw.lba, rw.blocks);
+    if (!result.ok) {
+      // Medium error (latent sector or CRC mismatch): surface it as CHECK
+      // CONDITION so the initiator can retry — never serve corrupt bytes.
+      ++target.stats_.read_faults;
+      send_status(cmd.itt, ScsiStatus::CheckCondition);
+      co_return;
+    }
+    std::vector<std::byte> bytes = std::move(result.data);
     target.stats_.read_bytes += bytes.size();
     // Block-layer + IDE interrupt work for this I/O, on the storage CPU.
     copier.cpu().charge(costs.disk_io_cpu_ns +

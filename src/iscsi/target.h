@@ -25,6 +25,7 @@ struct TargetStats {
   std::uint64_t read_bytes = 0;
   std::uint64_t write_bytes = 0;
   std::uint64_t bad_commands = 0;
+  std::uint64_t read_faults = 0;  ///< media errors surfaced as CHECK CONDITION
   std::uint64_t wire_cache_hits = 0;    ///< reads served without the disk
   std::uint64_t wire_cache_misses = 0;  ///< reads that built fresh chains
 };

@@ -18,28 +18,26 @@ NetBuffer::NetBuffer(NetBuffer&& o) noexcept
       head_(o.head_),
       tail_(o.tail_),
       cap_(o.cap_),
-      pool_(o.pool_) {
-  o.pool_ = nullptr;
+      pool_(std::move(o.pool_)) {
   o.head_ = o.tail_ = o.cap_ = 0;
 }
 
 NetBuffer& NetBuffer::operator=(NetBuffer&& o) noexcept {
   if (this != &o) {
-    if (pool_) pool_->release(*this);
+    if (pool_) pool_->release(cap_ + BufferPool::kPerBufferOverhead);
     if (!storage_.empty()) SlabCache::process().recycle(std::move(storage_));
     storage_ = std::move(o.storage_);
     head_ = o.head_;
     tail_ = o.tail_;
     cap_ = o.cap_;
-    pool_ = o.pool_;
-    o.pool_ = nullptr;
+    pool_ = std::move(o.pool_);
     o.head_ = o.tail_ = o.cap_ = 0;
   }
   return *this;
 }
 
 NetBuffer::~NetBuffer() {
-  if (pool_) pool_->release(*this);
+  if (pool_) pool_->release(cap_ + BufferPool::kPerBufferOverhead);
   if (!storage_.empty()) SlabCache::process().recycle(std::move(storage_));
 }
 
@@ -82,7 +80,7 @@ NetBufferPtr make_buffer(std::size_t capacity, std::size_t headroom) {
 
 NetBufferPtr BufferPool::allocate(std::size_t capacity, std::size_t headroom) {
   std::size_t charge = headroom + capacity + kPerBufferOverhead;
-  if (in_use_ + charge > budget_) {
+  if (ledger_->in_use + charge > budget_) {
     ++failures_;
     return nullptr;
   }
@@ -97,36 +95,31 @@ NetBufferPtr BufferPool::allocate(std::size_t capacity, std::size_t headroom) {
   } else {
     ++slab_misses_;
   }
-  buf->pool_ = this;
-  in_use_ += charge;
+  buf->pool_ = ledger_;
+  ledger_->in_use += charge;
   ++allocations_;
   return buf;
 }
 
 bool BufferPool::adopt(NetBuffer& buf) {
-  if (buf.pool_ == this) return true;
+  if (buf.pool_ == ledger_) return true;
   std::size_t charge = buf.capacity() + kPerBufferOverhead;
-  if (in_use_ + charge > budget_) {
+  if (ledger_->in_use + charge > budget_) {
     ++failures_;
     return false;
   }
-  if (buf.pool_) buf.pool_->release(buf);
-  buf.pool_ = this;
-  in_use_ += charge;
+  if (buf.pool_) buf.pool_->release(charge);
+  buf.pool_ = ledger_;
+  ledger_->in_use += charge;
   ++allocations_;
   return true;
-}
-
-void BufferPool::release(const NetBuffer& buf) noexcept {
-  std::size_t charge = buf.capacity() + kPerBufferOverhead;
-  in_use_ = in_use_ > charge ? in_use_ - charge : 0;
 }
 
 void BufferPool::register_metrics(MetricRegistry& registry,
                                   const std::string& node,
                                   const std::string& prefix) {
   registry.gauge(node, prefix + ".in_use_bytes",
-                 [this] { return double(in_use_); });
+                 [ledger = ledger_] { return double(ledger->in_use); });
   registry.counter(node, prefix + ".allocations",
                    [this] { return allocations_; });
   registry.counter(node, prefix + ".failures", [this] { return failures_; });

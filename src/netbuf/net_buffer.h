@@ -24,6 +24,21 @@ namespace ncache::netbuf {
 
 class BufferPool;
 
+namespace detail {
+/// Accounting block shared between a BufferPool and every buffer charged to
+/// it. Buffers can outlive their pool (in-flight frames still queued on the
+/// event loop or in retransmit queues at teardown); the ledger keeps the
+/// release path valid after the pool is gone — `owner` is nulled by
+/// ~BufferPool and late releases just decrement the orphaned counter.
+struct PoolLedger {
+  BufferPool* owner = nullptr;
+  std::size_t in_use = 0;
+  void release(std::size_t charge) noexcept {
+    in_use = in_use > charge ? in_use - charge : 0;
+  }
+};
+}  // namespace detail
+
 class NetBuffer {
  public:
   static constexpr std::size_t kDefaultHeadroom = 128;
@@ -66,8 +81,9 @@ class NetBuffer {
   /// Appends the given bytes (convenience over put + memcpy).
   void append(std::span<const std::byte> src);
 
-  /// Pool this buffer is charged against, or nullptr.
-  BufferPool* pool() const noexcept { return pool_; }
+  /// Pool this buffer is charged against, or nullptr (also nullptr once
+  /// the pool itself has been destroyed).
+  BufferPool* pool() const noexcept { return pool_ ? pool_->owner : nullptr; }
 
  private:
   friend class BufferPool;
@@ -75,8 +91,8 @@ class NetBuffer {
   std::vector<std::byte> storage_;  // slab-class sized, >= cap_
   std::size_t head_ = 0;
   std::size_t tail_ = 0;
-  std::size_t cap_ = 0;         // logical capacity; accounting unit
-  BufferPool* pool_ = nullptr;  // set by BufferPool::allocate
+  std::size_t cap_ = 0;  // logical capacity; accounting unit
+  std::shared_ptr<detail::PoolLedger> pool_;  // set by BufferPool::allocate
 };
 
 using NetBufferPtr = std::shared_ptr<NetBuffer>;
@@ -94,7 +110,10 @@ NetBufferPtr make_buffer(std::size_t capacity,
 class BufferPool {
  public:
   BufferPool(std::string name, std::size_t budget_bytes)
-      : name_(std::move(name)), budget_(budget_bytes) {}
+      : name_(std::move(name)), budget_(budget_bytes) {
+    ledger_->owner = this;
+  }
+  ~BufferPool() { ledger_->owner = nullptr; }
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -112,9 +131,9 @@ class BufferPool {
   bool adopt(NetBuffer& buf);
 
   std::size_t budget() const noexcept { return budget_; }
-  std::size_t in_use() const noexcept { return in_use_; }
+  std::size_t in_use() const noexcept { return ledger_->in_use; }
   std::size_t available() const noexcept {
-    return budget_ > in_use_ ? budget_ - in_use_ : 0;
+    return budget_ > in_use() ? budget_ - in_use() : 0;
   }
   std::uint64_t allocations() const noexcept { return allocations_; }
   std::uint64_t failures() const noexcept { return failures_; }
@@ -131,13 +150,10 @@ class BufferPool {
   static constexpr std::size_t kPerBufferOverhead = 96;
 
  private:
-  friend class NetBuffer;
-
-  void release(const NetBuffer& buf) noexcept;
-
   std::string name_;
   std::size_t budget_;
-  std::size_t in_use_ = 0;
+  std::shared_ptr<detail::PoolLedger> ledger_ =
+      std::make_shared<detail::PoolLedger>();
   std::uint64_t allocations_ = 0;
   std::uint64_t failures_ = 0;
   std::uint64_t recycled_ = 0;

@@ -1,6 +1,9 @@
 #include "nfs/client.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace ncache::nfs {
 
@@ -15,7 +18,8 @@ NfsClient::NfsClient(proto::NetworkStack& stack, proto::Ipv4Addr local_ip,
       server_ip_(server_ip),
       local_port_(local_port),
       server_port_(server_port),
-      next_xid_(std::uint32_t(local_port) << 16 | 1) {
+      next_xid_(std::uint32_t(local_port) << 16 | 1),
+      rng_(0xADA9717ull ^ local_port, local_ip) {
   stack_.udp_bind(local_port_,
                   [this](proto::Ipv4Addr, std::uint16_t, proto::Ipv4Addr,
                          std::uint16_t, MsgBuffer m) {
@@ -33,10 +37,47 @@ void NfsClient::on_datagram(MsgBuffer msg) {
   if (!reply) return;
   auto it = pending_.find(reply->xid);
   if (it == pending_.end()) return;  // duplicate after retransmit: drop
+  // Karn's rule: a reply to a retransmitted call is ambiguous (it may
+  // answer any copy), so only clean exchanges feed the estimator.
+  if (!it->second.retransmitted) {
+    observe_rtt(stack_.loop().now() - it->second.first_sent);
+  }
   auto resolve = std::move(it->second.resolve);
   pending_.erase(it);
   ++stats_.replies;
   resolve(std::move(msg));
+}
+
+void NfsClient::observe_rtt(sim::Duration rtt) {
+  // Jacobson/Karels in signed ns (Duration is unsigned; the EWMA error
+  // term goes negative).
+  auto r = std::int64_t(rtt);
+  if (srtt_ == 0) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+  } else {
+    auto srtt = std::int64_t(srtt_);
+    auto rttvar = std::int64_t(rttvar_);
+    std::int64_t err = r - srtt;
+    srtt += err / 8;
+    rttvar += ((err < 0 ? -err : err) - rttvar) / 4;
+    srtt_ = sim::Duration(srtt < 0 ? 0 : srtt);
+    rttvar_ = sim::Duration(rttvar < 0 ? 0 : rttvar);
+  }
+  rto_ = std::clamp(srtt_ + 4 * rttvar_, kMinRto, kMaxRto);
+}
+
+sim::Duration NfsClient::attempt_timeout(int n) {
+  // Exponential backoff on the learned RTO, capped, then ±12.5% jitter so
+  // a fleet of clients does not retransmit in lockstep after a shared
+  // outage.
+  sim::Duration base = rto_;
+  for (int i = 1; i < n && base < kMaxRto; ++i) base *= 2;
+  base = std::min(base, kMaxRto);
+  auto swing = std::int64_t(base / 8);
+  std::int64_t offset = std::int64_t(rng_.range(0, std::uint64_t(2 * swing))) -
+                        swing;
+  return sim::Duration(std::int64_t(base) + offset);
 }
 
 Task<std::optional<MsgBuffer>> NfsClient::call(Proc proc,
@@ -60,13 +101,22 @@ Task<std::optional<MsgBuffer>> NfsClient::call(Proc proc,
         auto r = std::make_shared<decltype(resolve)>(std::move(resolve));
         auto& slot = pending_[xid];
         slot.resolve = [r](std::optional<MsgBuffer> m) { (*r)(std::move(m)); };
+        slot.first_sent = stack_.loop().now();
 
-        // Transmit attempt `n`, arming the retransmission timer.
+        // Transmit attempt `n`, arming the adaptive retransmission timer.
+        // The closure captures itself weakly: each armed timer event holds
+        // the strong reference, so the chain lives exactly until the call
+        // is answered or exhausted (a strong self-capture would cycle and
+        // pin the datagram forever).
         auto attempt = std::make_shared<std::function<void(int)>>();
-        *attempt = [this, xid, datagram, attempt](int n) {
+        std::weak_ptr<std::function<void(int)>> weak = attempt;
+        *attempt = [this, xid, datagram, weak](int n) {
           auto it = pending_.find(xid);
           if (it == pending_.end()) return;  // answered
-          if (n > 1) ++stats_.retransmits;
+          if (n > 1) {
+            ++stats_.retransmits;
+            it->second.retransmitted = true;  // Karn: sample now ambiguous
+          }
           if (n > kMaxAttempts) {
             ++stats_.timeouts;
             auto resolve2 = std::move(it->second.resolve);
@@ -76,12 +126,26 @@ Task<std::optional<MsgBuffer>> NfsClient::call(Proc proc,
           }
           stack_.udp_send(local_ip_, local_port_, server_ip_, server_port_,
                           datagram);
-          stack_.loop().schedule_in(kRetransTimeout,
-                                    [attempt, n] { (*attempt)(n + 1); });
+          stack_.loop().schedule_in(
+              attempt_timeout(n),
+              [a = weak.lock(), n] { if (a) (*a)(n + 1); });
         };
         (*attempt)(1);
       });
   co_return co_await awaiter;
+}
+
+void NfsClient::register_metrics(MetricRegistry& registry,
+                                 const std::string& node) {
+  registry.counter(node, "nfs_client.calls", [this] { return stats_.calls; });
+  registry.counter(node, "nfs_client.replies",
+                   [this] { return stats_.replies; });
+  registry.counter(node, "nfs_client.retransmits",
+                   [this] { return stats_.retransmits; });
+  registry.counter(node, "nfs_client.timeouts",
+                   [this] { return stats_.timeouts; });
+  registry.gauge(node, "nfs_client.rto_ms",
+                 [this] { return double(rto_) / double(sim::kMillisecond); });
 }
 
 Task<std::optional<Fattr>> NfsClient::getattr(std::uint64_t fh) {

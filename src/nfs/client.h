@@ -1,6 +1,7 @@
 // NFS client: used by the workload generators and the example programs.
 //
-// Classic UDP RPC client: XID matching, fixed retransmission timer, and
+// Classic UDP RPC client: XID matching, adaptive retransmission (RTT-
+// estimated RTO with exponential backoff + deterministic jitter), and
 // copy-semantics payload handling (clients are ordinary machines; only the
 // pass-through server gets NCache). READ results expose whether the
 // payload was baseline junk so integrity checks know when to apply.
@@ -8,6 +9,7 @@
 
 #include <unordered_map>
 
+#include "common/rng.h"
 #include "netbuf/copy_engine.h"
 #include "nfs/protocol.h"
 #include "proto/stack.h"
@@ -58,9 +60,20 @@ class NfsClient {
   proto::Ipv4Addr server_ip() const noexcept { return server_ip_; }
   sim::EventLoop& loop() noexcept { return stack_.loop(); }
 
-  /// Retransmission policy.
-  static constexpr sim::Duration kRetransTimeout = 800 * sim::kMillisecond;
-  static constexpr int kMaxAttempts = 4;
+  /// Retransmission policy: Jacobson/Karels RTO (SRTT + 4·RTTVAR) learned
+  /// from unambiguous samples (Karn's rule), exponential backoff across
+  /// attempts, ±12.5% deterministic jitter to decorrelate clients.
+  static constexpr sim::Duration kInitialRto = 800 * sim::kMillisecond;
+  static constexpr sim::Duration kMinRto = 200 * sim::kMillisecond;
+  static constexpr sim::Duration kMaxRto = 10 * sim::kSecond;
+  static constexpr int kMaxAttempts = 6;
+
+  /// The current learned RTO (before backoff/jitter).
+  sim::Duration current_rto() const noexcept { return rto_; }
+
+  /// Publishes nfs_client.* call/retransmit counters and the RTO gauge
+  /// under `node`.
+  void register_metrics(MetricRegistry& registry, const std::string& node);
 
  private:
   /// One RPC exchange: sends header+args (+payload), awaits the matching
@@ -78,13 +91,25 @@ class NfsClient {
   std::uint16_t local_port_;
   std::uint16_t server_port_;
 
+  /// RTT sample (unambiguous reply only) -> SRTT/RTTVAR -> RTO.
+  void observe_rtt(sim::Duration rtt);
+  /// Backed-off, jittered wait before attempt `n+1`.
+  sim::Duration attempt_timeout(int n);
+
   struct PendingCall {
     std::function<void(std::optional<netbuf::MsgBuffer>)> resolve;
-    std::uint64_t epoch = 0;  ///< invalidates stale timers
+    std::uint64_t epoch = 0;       ///< invalidates stale timers
+    sim::Time first_sent = 0;      ///< for the RTT sample
+    bool retransmitted = false;    ///< Karn: ambiguous sample, skip
   };
   std::unordered_map<std::uint32_t, PendingCall> pending_;
   std::uint32_t next_xid_;
   NfsClientStats stats_;
+
+  sim::Duration srtt_ = 0;  ///< 0 = no sample yet
+  sim::Duration rttvar_ = 0;
+  sim::Duration rto_ = kInitialRto;
+  Pcg32 rng_;  ///< retransmission jitter (seeded per client)
 };
 
 }  // namespace ncache::nfs

@@ -29,7 +29,7 @@ void NfsServer::start() {
   });
   for (int i = 0; i < config_.daemons; ++i) {
     ++live_daemons_;
-    daemon_loop(i).detach();
+    daemon_loop(i).detach(stack_.loop().reaper());
   }
 }
 

@@ -19,7 +19,10 @@ std::optional<IpReassembler::Datagram> IpReassembler::feed(Frame frame) {
   FlowKey key{frame.ip.src, frame.ip.dst, frame.ip.id,
               static_cast<std::uint8_t>(frame.ip.protocol)};
   Partial& p = partial_[key];
-  if (p.pieces.empty()) p.started = loop_.now();
+  if (p.pieces.empty()) {
+    p.started = loop_.now();
+    arm_expiry();
+  }
 
   std::uint32_t byte_offset = std::uint32_t(frame.ip.fragment_offset) * 8;
   if (frame.ip.fragment_offset == 0) {
@@ -70,6 +73,25 @@ std::size_t IpReassembler::expire() {
   for (const auto& k : dead) partial_.erase(k);
   timeouts_ += dead.size();
   return dead.size();
+}
+
+void IpReassembler::arm_expiry() {
+  if (expiry_armed_ || partial_.empty()) return;
+  sim::Time oldest = 0;
+  bool first = true;
+  for (const auto& [k, p] : partial_) {
+    if (first || p.started < oldest) {
+      oldest = p.started;
+      first = false;
+    }
+  }
+  expiry_armed_ = true;
+  // +1: expire() evicts strictly-older-than-timeout partials.
+  loop_.schedule_at(oldest + timeout_ + 1, [this] {
+    expiry_armed_ = false;
+    expire();
+    arm_expiry();
+  });
 }
 
 }  // namespace ncache::proto

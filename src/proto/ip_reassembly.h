@@ -37,6 +37,8 @@ class IpReassembler {
   std::optional<Datagram> feed(Frame frame);
 
   /// Drops partial datagrams older than the timeout. Returns evictions.
+  /// Called automatically by the self-arming expiry timer; public for
+  /// tests and manual sweeps.
   std::size_t expire();
 
   std::size_t pending() const noexcept { return partial_.size(); }
@@ -71,10 +73,16 @@ class IpReassembler {
     sim::Time started = 0;
   };
 
+  /// Arms a one-shot sweep at the oldest partial's deadline. Self-arming
+  /// only while partials exist, so an idle reassembler schedules nothing
+  /// and never keeps the event loop alive.
+  void arm_expiry();
+
   sim::EventLoop& loop_;
   sim::Duration timeout_;
   std::unordered_map<FlowKey, Partial, FlowKeyHash> partial_;
   std::uint64_t timeouts_ = 0;
+  bool expiry_armed_ = false;
 };
 
 }  // namespace ncache::proto

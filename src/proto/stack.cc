@@ -303,8 +303,12 @@ void NetworkStack::dispatch_tcp(IpReassembler::Datagram d) {
     if (lit != tcp_listeners_.end()) {
       auto conn = make_connection(d.ip.dst, h.dst_port, d.ip.src, h.src_port);
       AcceptHandler accept = lit->second;  // copy: survives unbind
-      TcpConnectionPtr cp = conn;
-      conn->set_on_established([accept, cp] { accept(cp); });
+      // Weak: the handler lives on the connection itself, so a strong
+      // capture would be a self-cycle. connections_ keeps it alive.
+      std::weak_ptr<TcpConnection> wp = conn;
+      conn->set_on_established([accept, wp] {
+        if (auto cp = wp.lock()) accept(cp);
+      });
       conn->open_passive(h.seq);
       return;
     }
@@ -342,7 +346,13 @@ Task<TcpConnectionPtr> NetworkStack::tcp_connect(Ipv4Addr src_ip,
       [conn](AwaitCallback<TcpConnectionPtr>::Resolve resolve) {
         auto r = std::make_shared<AwaitCallback<TcpConnectionPtr>::Resolve>(
             std::move(resolve));
-        conn->set_on_established([conn, r] { (*r)(conn); });
+        // Weak capture: the handler is stored on the connection, so a
+        // strong capture would be a self-cycle. connections_ (and the
+        // awaiting coroutine frame) keep it alive.
+        std::weak_ptr<TcpConnection> wp = conn;
+        conn->set_on_established([wp, r] {
+          if (auto c = wp.lock()) (*r)(c);
+        });
         conn->open_active();
       });
   co_return co_await established;
@@ -364,6 +374,10 @@ void NetworkStack::register_metrics(MetricRegistry& registry,
                    [this] { return stats_.not_mine_drops; });
   registry.counter(node, "tcp.resets_sent",
                    [this] { return stats_.tcp_resets_sent; });
+  registry.counter(node, "ip.reassembly_timeouts",
+                   [this] { return reassembler_.timeouts(); });
+  registry.gauge(node, "ip.reassembly_pending",
+                 [this] { return double(reassembler_.pending()); });
   for (std::size_t i = 0; i < nics_.size(); ++i) {
     nics_[i]->register_metrics(registry, node, "nic" + std::to_string(i));
   }

@@ -96,6 +96,8 @@ class NetworkStack {
 
   const StackStats& stats() const noexcept { return stats_; }
 
+  IpReassembler& reassembler() noexcept { return reassembler_; }
+
   /// Publishes udp.*/tcp.* stack counters and every NIC's meters (as
   /// nicK.*) under `node`.
   void register_metrics(MetricRegistry& registry, const std::string& node);

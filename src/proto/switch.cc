@@ -22,6 +22,13 @@ void EthernetSwitch::connect(Nic& nic) {
   mac_table_[nic.mac()] = index;
 }
 
+sim::DuplexLink& EthernetSwitch::cable_of(const Nic& nic) {
+  for (Port& p : ports_) {
+    if (p.nic == &nic) return *p.cable;
+  }
+  throw std::invalid_argument("EthernetSwitch::cable_of: NIC not connected");
+}
+
 void EthernetSwitch::on_ingress(std::size_t port_index, Frame frame) {
   mac_table_[frame.eth.src] = port_index;  // learn (idempotent here)
 

@@ -29,6 +29,12 @@ class EthernetSwitch {
   std::uint64_t forwarded() const noexcept { return forwarded_; }
   std::uint64_t flooded() const noexcept { return flooded_; }
 
+  /// The full-duplex cable behind a connected NIC's port — fault injection
+  /// flaps or degrades either direction through it. Throws if `nic` was
+  /// never connected.
+  sim::DuplexLink& cable_of(const Nic& nic);
+  sim::DuplexLink& cable(std::size_t port) { return *ports_.at(port).cable; }
+
  private:
   struct Port {
     Nic* nic;

@@ -1,6 +1,7 @@
 #include "proto/tcp.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -84,7 +85,13 @@ void TcpConnection::reset() {
 void TcpConnection::fire_close() {
   if (close_fired_) return;
   close_fired_ = true;
-  if (on_close_) on_close_();
+  // Drop the handlers' captures: handler slots live as long as the
+  // connection, and callers routinely capture session objects (or the
+  // connection itself) in them — keeping them past close ties reference
+  // cycles. Move-out first so a handler that re-enters close is safe.
+  on_established_ = nullptr;
+  auto f = std::exchange(on_close_, nullptr);
+  if (f) f();
 }
 
 void TcpConnection::emit_segment(std::uint8_t flags, std::uint32_t seq,
@@ -274,7 +281,7 @@ void TcpConnection::on_segment(const TcpHeader& h, netbuf::MsgBuffer payload) {
       rto_ = kInitialRto;
       enter(State::Established);
       emit_ack_now();
-      if (on_established_) on_established_();
+      if (auto f = std::exchange(on_established_, nullptr)) f();
       pump();
     }
     return;
@@ -292,7 +299,7 @@ void TcpConnection::on_segment(const TcpHeader& h, netbuf::MsgBuffer payload) {
       ++rto_epoch_;
       rto_ = kInitialRto;
       enter(State::Established);
-      if (on_established_) on_established_();
+      if (auto f = std::exchange(on_established_, nullptr)) f();
       // fall through: this segment may carry data
     } else {
       return;

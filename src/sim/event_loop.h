@@ -80,7 +80,14 @@ class EventLoop {
   /// simulator is single-threaded, so a plain counter suffices.
   static std::uint64_t process_dispatched() noexcept;
 
+  /// Registry for detached root coroutines driven by this loop. Declared
+  /// before the wheel so it is destroyed after it: pending events (which
+  /// may hold raw frame handles) are dropped first, then any frames still
+  /// suspended at teardown are destroyed instead of leaking.
+  TaskReaper& reaper() noexcept { return reaper_; }
+
  private:
+  TaskReaper reaper_;
   TimerWheel wheel_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
@@ -136,7 +143,8 @@ T sync_wait(EventLoop& loop, Task<T> task) {
   std::optional<T> out;
   bool failed = false;
   std::exception_ptr error;
-  detail::sync_wrapper(std::move(task), &out, &failed, &error).detach();
+  detail::sync_wrapper(std::move(task), &out, &failed, &error)
+      .detach(loop.reaper());
   while (!out && !failed && loop.step()) {
   }
   if (failed) std::rethrow_exception(error);
@@ -147,7 +155,8 @@ T sync_wait(EventLoop& loop, Task<T> task) {
 inline void sync_wait(EventLoop& loop, Task<void> task) {
   bool done = false;
   std::exception_ptr error;
-  detail::sync_wrapper_void(std::move(task), &done, &error).detach();
+  detail::sync_wrapper_void(std::move(task), &done, &error)
+      .detach(loop.reaper());
   while (!done && loop.step()) {
   }
   if (error) std::rethrow_exception(error);

@@ -14,6 +14,17 @@ Duration Link::tx_time(std::size_t bytes) const noexcept {
 }
 
 void Link::transmit(std::size_t bytes, InlineCallback delivered) {
+  // Fault gate: a downed or lossy link eats the frame before it touches
+  // the serializer, so drops cost no line time and skew no utilization.
+  if (!admin_up_) {
+    ++dropped_down_;
+    return;
+  }
+  if (drop_hook_ && drop_hook_(bytes)) {
+    ++dropped_faults_;
+    return;
+  }
+
   Time start = std::max(loop_.now(), idle_at_);
   Duration ser = tx_time(bytes);
   Time done_tx = start + ser;
@@ -54,6 +65,10 @@ void Link::register_metrics(MetricRegistry& registry, const std::string& node,
   registry.counter(node, prefix + ".frames", [this] { return frames_; });
   registry.bytes(node, prefix + ".payload_bytes",
                  [this] { return payload_bytes_; });
+  registry.counter(node, prefix + ".dropped_down",
+                   [this] { return dropped_down_; });
+  registry.counter(node, prefix + ".dropped_faults",
+                   [this] { return dropped_faults_; });
   registry.on_reset([this] { reset_stats(); });
 }
 

@@ -31,10 +31,28 @@ class Link {
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
+  /// Fault-injection drop decision, consulted once per offered frame with
+  /// the payload size. Returning true discards the frame (the `delivered`
+  /// callback never fires — exactly a frame lost on the wire).
+  using DropHook = std::function<bool(std::size_t)>;
+
   /// Transmits a frame of `bytes` payload (wire overhead added internally);
   /// `delivered` fires at the receiver once the last bit arrives (pass
-  /// nullptr to model fire-and-forget traffic).
+  /// nullptr to model fire-and-forget traffic). Frames offered while the
+  /// link is administratively down, or vetoed by the drop hook, vanish
+  /// without consuming serialization time.
   void transmit(std::size_t bytes, InlineCallback delivered);
+
+  /// Administrative (carrier) state: while down every offered frame is
+  /// silently discarded, as if the cable were unplugged.
+  void set_admin_up(bool up) noexcept { admin_up_ = up; }
+  bool admin_up() const noexcept { return admin_up_; }
+
+  /// Installs (or clears, with nullptr) the fault-injection drop hook.
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
+  std::uint64_t dropped_down() const noexcept { return dropped_down_; }
+  std::uint64_t dropped_faults() const noexcept { return dropped_faults_; }
 
   /// Busy fraction since last reset_stats().
   double utilization() const noexcept;
@@ -64,6 +82,11 @@ class Link {
   std::uint64_t frames_ = 0;
   std::uint64_t payload_bytes_ = 0;
   Time window_start_ = 0;
+
+  bool admin_up_ = true;
+  DropHook drop_hook_;
+  std::uint64_t dropped_down_ = 0;
+  std::uint64_t dropped_faults_ = 0;
 };
 
 /// A full-duplex cable: two independent directions.

@@ -121,7 +121,47 @@ void Testbed::start_nfs() {
     nfs_clients_.push_back(std::make_unique<nfs::NfsClient>(
         clients_[std::size_t(i)]->stack, client_ip(i),
         server_ip(i % config_.server_nics), std::uint16_t(700 + i)));
+    nfs_clients_.back()->register_metrics(metrics_,
+                                          "client" + std::to_string(i));
   }
+}
+
+void Testbed::crash_server() {
+  if (server_crashed_) return;
+  server_crashed_ = true;
+  // Cables first: frames already queued by the dying daemons must vanish
+  // on the wire instead of racing the restarted instance.
+  for (std::size_t n = 0; n < server_->stack.nic_count(); ++n) {
+    auto& cable = switch_->cable_of(server_->stack.nic(n));
+    cable.a_to_b.set_admin_up(false);
+    cable.b_to_a.set_admin_up(false);
+  }
+  initiator_->abort_session(/*allow_reconnect=*/false);
+  if (nfs_server_) nfs_server_->stop();
+  fs_->cache().discard_all();
+  if (ncache_) ncache_->cache().clear();
+  NC_WARN("testbed", "server crashed: caches and sessions lost");
+}
+
+void Testbed::restart_server() {
+  if (!server_crashed_) return;
+  server_crashed_ = false;
+  for (std::size_t n = 0; n < server_->stack.nic_count(); ++n) {
+    auto& cable = switch_->cable_of(server_->stack.nic(n));
+    cable.a_to_b.set_admin_up(true);
+    cable.b_to_a.set_admin_up(true);
+  }
+  restart_task().detach(loop_.reaper());
+}
+
+Task<void> Testbed::restart_task() {
+  bool ok = co_await initiator_->login();
+  if (!ok) {
+    NC_WARN("testbed", "iSCSI re-login failed after server restart");
+    co_return;
+  }
+  if (nfs_server_) nfs_server_->start();
+  NC_WARN("testbed", "server restarted: session re-established");
 }
 
 void Testbed::reset_stats() {

@@ -127,6 +127,20 @@ class Testbed {
   /// (fans out through the registry's reset hooks).
   void reset_stats();
 
+  // ---- fault scenarios -------------------------------------------------------
+  /// Power-fails the pass-through server. Its cables drop first (frames
+  /// already emitted by the dying daemons vanish on the wire instead of
+  /// racing the restarted instance), then the iSCSI session is torn down
+  /// without reconnect, the NFS daemons stop, and every server-side cache
+  /// loses its contents — dirty blocks included. Metric registrations and
+  /// counters survive the crash.
+  void crash_server();
+  /// Brings a crashed server back asynchronously: cables up, iSCSI
+  /// re-login (parked commands replay), NFS daemons relaunched. Safe to
+  /// call from fault-plan callbacks while the loop is running.
+  void restart_server();
+  bool server_crashed() const noexcept { return server_crashed_; }
+
   /// Aggregate measurement snapshot over the window since reset_stats().
   /// A thin typed view over the registry — every field is readable by
   /// name from metrics() / its JSON export; this struct exists for
@@ -145,6 +159,8 @@ class Testbed {
   Snapshot snapshot(sim::Time window_start) const;
 
  private:
+  Task<void> restart_task();
+
   TestbedConfig config_;
   sim::EventLoop loop_;
   std::shared_ptr<proto::AddressBook> book_;
@@ -163,6 +179,7 @@ class Testbed {
   std::unique_ptr<fs::SimpleFs> fs_;
   std::unique_ptr<nfs::NfsServer> nfs_server_;
   std::vector<std::unique_ptr<nfs::NfsClient>> nfs_clients_;
+  bool server_crashed_ = false;
 
   /// Declared last: sampling callbacks hold raw pointers into the members
   /// above, so the registry must never outlive them.

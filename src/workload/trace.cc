@@ -71,7 +71,8 @@ Task<void> TracePlayer::play_open(Counters* counters, double speedup) {
     Counters* c = counters;
     int* out = &outstanding;
     loop_.schedule_in(due, [self, op_ptr, c, out] {
-      issue_tracked(self, op_ptr, c, out, &TracePlayer::issue).detach();
+      issue_tracked(self, op_ptr, c, out, &TracePlayer::issue)
+          .detach(self->loop_.reaper());
     });
   }
   // Wait for the tail to drain.

@@ -96,7 +96,8 @@ TEST(BlockStore, ReadBackWhatWasWritten) {
   auto task_fn = [&]() -> Task<void> {
     co_await store.write(10, data);
     auto got = co_await store.read(10, 3);
-    EXPECT_EQ(got, data);
+    EXPECT_TRUE(got.ok);
+    EXPECT_EQ(got.data, data);
   };
   sim::sync_wait(loop, task_fn());
   EXPECT_EQ(store.writes(), 1u);
