@@ -1,0 +1,65 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+
+namespace ncache::cluster {
+
+std::uint64_t HashRing::mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashRing::hash_bytes(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= std::uint8_t(c);
+    h *= 0x100000001b3ULL;
+  }
+  // One finalizer round: FNV alone clusters on short common prefixes.
+  return mix64(h);
+}
+
+void HashRing::add_member(std::uint32_t member) {
+  auto it = std::lower_bound(members_.begin(), members_.end(), member);
+  if (it != members_.end() && *it == member) return;
+  members_.insert(it, member);
+  for (int v = 0; v < vnodes_; ++v) {
+    std::uint64_t point =
+        mix64((std::uint64_t(member) << 32) ^ std::uint64_t(v) ^
+              0xa5a5a5a5a5a5a5a5ULL);
+    points_.push_back(Point{point, member});
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.member < b.member;
+            });
+}
+
+void HashRing::remove_member(std::uint32_t member) {
+  auto it = std::lower_bound(members_.begin(), members_.end(), member);
+  if (it == members_.end() || *it != member) return;
+  members_.erase(it);
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [member](const Point& p) {
+                                 return p.member == member;
+                               }),
+                points_.end());
+}
+
+bool HashRing::has_member(std::uint32_t member) const {
+  return std::binary_search(members_.begin(), members_.end(), member);
+}
+
+std::uint32_t HashRing::owner(std::uint64_t key_hash) const {
+  auto it = std::lower_bound(points_.begin(), points_.end(), key_hash,
+                             [](const Point& p, std::uint64_t h) {
+                               return p.hash < h;
+                             });
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->member;
+}
+
+}  // namespace ncache::cluster

@@ -1,0 +1,61 @@
+// Consistent-hash ring with virtual nodes.
+//
+// Both halves of the scale-out extension hang off this one structure: the
+// load balancer maps request keys (NFS file handles, HTTP URLs) to the
+// replica that serves them, and the peer-cache protocol maps block extents
+// to the replica that *owns* their cached copy. Virtual nodes smooth the
+// key space so adding/removing one replica only moves ~1/N of the keys —
+// the property that keeps a rebalance after a crash cheap.
+//
+// Determinism matters more than hash quality here: the ring is rebuilt
+// identically on every node from the same (member, vnode) list, so owner
+// decisions agree cluster-wide without any coordination traffic.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ncache::cluster {
+
+class HashRing {
+ public:
+  explicit HashRing(int vnodes_per_member = 64)
+      : vnodes_(vnodes_per_member < 1 ? 1 : vnodes_per_member) {}
+
+  /// Adds `member` (idempotent). Inserts vnodes_ points on the ring.
+  void add_member(std::uint32_t member);
+  /// Removes `member` (idempotent); its keys fall to ring successors.
+  void remove_member(std::uint32_t member);
+  bool has_member(std::uint32_t member) const;
+
+  /// The member owning `key_hash`: first ring point at or after it,
+  /// wrapping. Callers must check empty() first.
+  std::uint32_t owner(std::uint64_t key_hash) const;
+
+  bool empty() const noexcept { return points_.empty(); }
+  std::size_t member_count() const noexcept { return members_.size(); }
+  std::size_t point_count() const noexcept { return points_.size(); }
+  /// Current members, sorted ascending (deterministic iteration order).
+  const std::vector<std::uint32_t>& members() const noexcept {
+    return members_;
+  }
+
+  /// 64-bit finalizer (splitmix64) — the shared key hash for integer keys
+  /// (file handles, extent numbers).
+  static std::uint64_t mix64(std::uint64_t x) noexcept;
+  /// FNV-1a for string keys (HTTP URLs).
+  static std::uint64_t hash_bytes(std::string_view s) noexcept;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t member;
+  };
+
+  int vnodes_;
+  std::vector<std::uint32_t> members_;  ///< sorted
+  std::vector<Point> points_;           ///< sorted by hash
+};
+
+}  // namespace ncache::cluster

@@ -1,0 +1,251 @@
+#include "cluster/load_balancer.h"
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "nfs/protocol.h"
+
+namespace ncache::cluster {
+
+using netbuf::MsgBuffer;
+
+LoadBalancer::LoadBalancer(proto::NetworkStack& stack, Config config,
+                           std::vector<Member> members)
+    : stack_(stack),
+      config_(config),
+      members_(std::move(members)),
+      ring_(config.vnodes),
+      next_nat_port_(config.nat_base) {
+  for (const Member& m : members_) ring_.add_member(m.id);
+}
+
+void LoadBalancer::start() {
+  if (running_) return;
+  running_ = true;
+  ++generation_;
+  stack_.udp_bind(config_.port,
+                  [this](proto::Ipv4Addr sip, std::uint16_t sport,
+                         proto::Ipv4Addr dip, std::uint16_t dport,
+                         MsgBuffer msg) {
+                    on_request(sip, sport, dip, dport, std::move(msg));
+                  });
+  stack_.udp_bind(config_.control_port,
+                  [this](proto::Ipv4Addr sip, std::uint16_t sport,
+                         proto::Ipv4Addr dip, std::uint16_t dport,
+                         MsgBuffer msg) {
+                    on_control(sip, sport, dip, dport, std::move(msg));
+                  });
+  std::uint64_t gen = generation_;
+  stack_.loop().schedule_in(config_.heartbeat_interval,
+                            [this, gen] { heartbeat_tick(gen); });
+}
+
+void LoadBalancer::stop() {
+  if (!running_) return;
+  running_ = false;
+  ++generation_;  // orphans any scheduled heartbeat tick
+  stack_.udp_unbind(config_.port);
+  stack_.udp_unbind(config_.control_port);
+  for (auto& [key, flow] : flows_) stack_.udp_unbind(flow.nat_port);
+  flows_.clear();
+}
+
+std::optional<proto::Ipv4Addr> LoadBalancer::member_ip(
+    std::uint32_t id) const {
+  for (const Member& m : members_) {
+    if (m.id == id) return m.ip;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t LoadBalancer::route_key(proto::Ipv4Addr src_ip,
+                                      std::uint16_t src_port,
+                                      const MsgBuffer& msg) {
+  if (config_.routing == Routing::ContentHash &&
+      msg.size() >= nfs::kCallHeaderBytes + 8) {
+    // Every NFS call body starts with the file handle (or directory
+    // handle) right after the RPC header — one fixed-offset peek routes
+    // all procedures file-affinely without parsing per-procedure bodies.
+    try {
+      auto head = msg.peek_bytes(nfs::kCallHeaderBytes + 8);
+      ByteReader r(head);
+      r.skip(nfs::kCallHeaderBytes);
+      ++stats_.content_routes;
+      return HashRing::mix64(r.u64());
+    } catch (const std::exception&) {
+      // Non-physical or short prefix: fall through to the flow hash.
+    }
+  }
+  ++stats_.flow_routes;
+  return HashRing::mix64((std::uint64_t(src_ip) << 16) | src_port);
+}
+
+LoadBalancer::Flow& LoadBalancer::flow_for(proto::Ipv4Addr client_ip,
+                                           std::uint16_t client_port) {
+  std::uint64_t key = (std::uint64_t(client_ip) << 16) | client_port;
+  auto it = flows_.find(key);
+  if (it != flows_.end()) return it->second;
+
+  Flow flow;
+  flow.client_ip = client_ip;
+  flow.client_port = client_port;
+  flow.nat_port = next_nat_port_++;
+  auto [ins, _] = flows_.emplace(key, flow);
+  // Replica replies land on the flow's NAT port and are cut through back
+  // to the real client, from the service port (so the client's view of
+  // the server address never changes).
+  stack_.udp_bind(flow.nat_port,
+                  [this, client_ip, client_port](
+                      proto::Ipv4Addr, std::uint16_t, proto::Ipv4Addr,
+                      std::uint16_t, MsgBuffer reply) {
+                    if (!running_) return;
+                    ++stats_.replies;
+                    stack_.udp_send(stack_.primary_ip(), config_.port,
+                                    client_ip, client_port,
+                                    std::move(reply));
+                  });
+  return ins->second;
+}
+
+void LoadBalancer::on_request(proto::Ipv4Addr src_ip, std::uint16_t src_port,
+                              proto::Ipv4Addr /*dst_ip*/,
+                              std::uint16_t /*dst_port*/, MsgBuffer msg) {
+  if (!running_) return;
+  if (ring_.empty()) {
+    ++stats_.drops_no_member;
+    return;
+  }
+  std::uint32_t member = ring_.owner(route_key(src_ip, src_port, msg));
+  auto ip = member_ip(member);
+  if (!ip) {
+    ++stats_.drops_no_member;
+    return;
+  }
+  Flow& flow = flow_for(src_ip, src_port);
+  ++stats_.forwards;
+  // L4 cut-through: the datagram is re-sent by reference, never copied.
+  stack_.udp_send(stack_.primary_ip(), flow.nat_port, *ip, config_.port,
+                  std::move(msg));
+}
+
+void LoadBalancer::on_control(proto::Ipv4Addr /*src_ip*/,
+                              std::uint16_t /*src_port*/,
+                              proto::Ipv4Addr /*dst_ip*/,
+                              std::uint16_t /*dst_port*/, MsgBuffer msg) {
+  if (!running_ || msg.size() < 12) return;
+  auto bytes = msg.peek_bytes(12);
+  ByteReader r(bytes);
+  if (PeerMsg(r.u32()) != PeerMsg::HeartbeatAck) return;
+  std::uint32_t seq = r.u32();
+  std::uint32_t id = r.u32();
+  if (seq != hb_seq_) return;  // stale round
+  ++stats_.acks_received;
+  hb_acked_.insert(id);
+  hb_misses_[id] = 0;
+  // A dead member answering is back: re-admit immediately (no need to
+  // wait out a full evaluation round).
+  if (!ring_.has_member(id) && member_ip(id)) mark_live(id);
+}
+
+void LoadBalancer::heartbeat_tick(std::uint64_t generation) {
+  if (!running_ || generation != generation_) return;
+
+  // Evaluate the round that just ended (none before the first probe).
+  if (hb_seq_ > 0) {
+    for (const Member& m : members_) {
+      if (!ring_.has_member(m.id)) continue;
+      if (hb_acked_.contains(m.id)) {
+        hb_misses_[m.id] = 0;
+        continue;
+      }
+      if (++hb_misses_[m.id] >= config_.heartbeat_miss_limit) {
+        mark_dead(m.id);
+      }
+    }
+  }
+
+  hb_acked_.clear();
+  ++hb_seq_;
+  std::vector<std::byte> head;
+  ByteWriter w(head);
+  w.u32(std::uint32_t(PeerMsg::Heartbeat));
+  w.u32(hb_seq_);
+  // Probe every configured member, dead ones included — an ack from a
+  // dead member is the re-admission signal.
+  for (const Member& m : members_) {
+    ++stats_.heartbeats_sent;
+    stack_.udp_send(stack_.primary_ip(), config_.control_port, m.ip,
+                    config_.peer_port, MsgBuffer::from_bytes(head));
+  }
+
+  std::uint64_t gen = generation_;
+  stack_.loop().schedule_in(config_.heartbeat_interval,
+                            [this, gen] { heartbeat_tick(gen); });
+}
+
+void LoadBalancer::mark_dead(std::uint32_t id) {
+  if (!ring_.has_member(id)) return;
+  ring_.remove_member(id);
+  hb_misses_.erase(id);
+  ++stats_.rebalances;
+  last_rebalance_at_ = stack_.loop().now();
+  NC_WARN("lb", "member %u marked dead (%zu live)", id,
+          ring_.member_count());
+  broadcast_membership();
+}
+
+void LoadBalancer::mark_live(std::uint32_t id) {
+  if (ring_.has_member(id)) return;
+  ring_.add_member(id);
+  hb_misses_[id] = 0;
+  ++stats_.rebalances;
+  last_rebalance_at_ = stack_.loop().now();
+  NC_WARN("lb", "member %u re-admitted (%zu live)", id,
+          ring_.member_count());
+  broadcast_membership();
+}
+
+void LoadBalancer::broadcast_membership() {
+  ++epoch_;
+  const std::vector<std::uint32_t>& live = ring_.members();  // sorted
+  std::vector<std::byte> head;
+  ByteWriter w(head);
+  w.u32(std::uint32_t(PeerMsg::Membership));
+  w.u32(epoch_);
+  w.u32(std::uint32_t(live.size()));
+  for (std::uint32_t id : live) w.u32(id);
+  for (const Member& m : members_) {
+    if (!ring_.has_member(m.id)) continue;  // dead: unreachable anyway
+    ++stats_.membership_broadcasts;
+    stack_.udp_send(stack_.primary_ip(), config_.control_port, m.ip,
+                    config_.peer_port, MsgBuffer::from_bytes(head));
+  }
+}
+
+void LoadBalancer::register_metrics(MetricRegistry& registry,
+                                    const std::string& node) {
+  registry.counter(node, "lb.forwards", [this] { return stats_.forwards; });
+  registry.counter(node, "lb.replies", [this] { return stats_.replies; });
+  registry.counter(node, "lb.drops_no_member",
+                   [this] { return stats_.drops_no_member; });
+  registry.counter(node, "lb.content_routes",
+                   [this] { return stats_.content_routes; });
+  registry.counter(node, "lb.flow_routes",
+                   [this] { return stats_.flow_routes; });
+  registry.counter(node, "lb.heartbeats_sent",
+                   [this] { return stats_.heartbeats_sent; });
+  registry.counter(node, "lb.acks_received",
+                   [this] { return stats_.acks_received; });
+  registry.counter(node, "lb.rebalances",
+                   [this] { return stats_.rebalances; });
+  registry.counter(node, "lb.membership_broadcasts",
+                   [this] { return stats_.membership_broadcasts; });
+  registry.gauge(node, "lb.live_members",
+                 [this] { return double(ring_.member_count()); });
+  registry.gauge(node, "lb.ring_points",
+                 [this] { return double(ring_.point_count()); });
+  registry.gauge(node, "lb.epoch", [this] { return double(epoch_); });
+  registry.on_reset([this] { reset_stats(); });
+}
+
+}  // namespace ncache::cluster

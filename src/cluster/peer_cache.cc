@@ -1,0 +1,481 @@
+#include "cluster/peer_cache.h"
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "fs/layout.h"
+
+namespace ncache::cluster {
+
+using netbuf::MsgBuffer;
+
+namespace {
+constexpr std::size_t kFetchReplyHeadBytes = 16;
+constexpr std::size_t kTransferHeadBytes = 16;
+}  // namespace
+
+PeerCache::PeerCache(proto::NetworkStack& stack, Config config,
+                     std::vector<Peer> peers)
+    : stack_(stack),
+      config_(config),
+      peers_(std::move(peers)),
+      sock_(stack, config.mode, config.port),
+      ring_(config.vnodes) {
+  for (const Peer& p : peers_) {
+    ring_.add_member(p.id);
+    live_.insert(p.id);
+  }
+}
+
+void PeerCache::attach(core::NCacheModule* ncache, fs::SimpleFs* fs) {
+  ncache_ = ncache;
+  fs_ = fs;
+}
+
+void PeerCache::start() {
+  if (running_) return;
+  running_ = true;
+  sock_.bind([this](proto::Ipv4Addr sip, std::uint16_t sport,
+                    proto::Ipv4Addr dip, std::uint16_t dport, MsgBuffer msg) {
+    on_datagram(sip, sport, dip, dport, std::move(msg));
+  });
+}
+
+void PeerCache::stop() {
+  if (!running_) return;
+  running_ = false;
+  sock_.unbind();
+  // Fail outstanding fetches so their daemons fall through to the target
+  // instead of parking until teardown.
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [seq, fn] : pending) fn(std::nullopt);
+}
+
+std::uint32_t PeerCache::owner_of(std::uint64_t lbn) const {
+  return ring_.owner(HashRing::mix64(lbn / kExtentBlocks));
+}
+
+std::optional<proto::Ipv4Addr> PeerCache::peer_ip(std::uint32_t id) const {
+  for (const Peer& p : peers_) {
+    if (p.id == id) return p.ip;
+  }
+  return std::nullopt;
+}
+
+sock::UdpSocket::Endpoint PeerCache::peer_endpoint(std::uint32_t id) const {
+  return {stack_.primary_ip(), *peer_ip(id), config_.port};
+}
+
+Task<std::optional<MsgBuffer>> PeerCache::fetch(std::uint64_t lbn,
+                                                std::uint32_t count) {
+  std::uint32_t owner = owner_of(lbn);
+  auto ip = peer_ip(owner);
+  if (!running_ || !ip || owner == config_.self_id) co_return std::nullopt;
+
+  std::uint32_t seq = next_seq_++;
+  std::vector<std::byte> head;
+  ByteWriter w(head);
+  w.u32(std::uint32_t(PeerMsg::Fetch));
+  w.u32(seq);
+  w.u64(lbn);
+  w.u32(count);
+  ++stats_.fetches_sent;
+
+  AwaitCallback<std::optional<MsgBuffer>> waiter([&](auto resolve) {
+    auto r = std::make_shared<decltype(resolve)>(std::move(resolve));
+    pending_[seq] = [r](std::optional<MsgBuffer> m) { (*r)(std::move(m)); };
+    sock_.send_meta({stack_.primary_ip(), *ip, config_.port}, head);
+    stack_.loop().schedule_in(config_.fetch_timeout, [this, seq] {
+      auto it = pending_.find(seq);
+      if (it == pending_.end()) return;  // reply won
+      auto fn = std::move(it->second);
+      pending_.erase(it);
+      ++stats_.fetch_timeouts;
+      fn(std::nullopt);
+    });
+  });
+  std::optional<MsgBuffer> result = co_await waiter;
+  if (result && config_.mode == core::PassMode::Original) {
+    // Copy-semantics ingress: socket buffer -> application buffer.
+    result = sock_.receive_copied(*result);
+  }
+  co_return result;
+}
+
+void PeerCache::push_to_owner(std::uint64_t lbn, std::uint32_t count,
+                              const MsgBuffer& chain) {
+  if (!running_ || !config_.push_on_miss || !ncache_) return;
+  if (count == 0 || count > kExtentBlocks) return;  // one extent per datagram
+  std::uint32_t owner = owner_of(lbn);
+  if (owner == config_.self_id || !peer_ip(owner)) return;
+  std::vector<std::byte> head;
+  ByteWriter w(head);
+  w.u32(std::uint32_t(PeerMsg::Transfer));
+  w.u64(lbn);
+  w.u32(count);
+  // Key-bearing chains materialize at the NIC (the egress interceptor), so
+  // the owner receives physical bytes it can ingest.
+  sock_.send_data(peer_endpoint(owner), head, chain, sock::Via::Sendfile);
+  ++stats_.pushes;
+}
+
+void PeerCache::broadcast_invalidate(
+    const std::vector<std::uint32_t>& lbns) {
+  if (!running_ || !config_.enabled || lbns.empty()) return;
+  std::vector<std::byte> head;
+  ByteWriter w(head);
+  w.u32(std::uint32_t(PeerMsg::Invalidate));
+  w.u32(std::uint32_t(lbns.size()));
+  for (std::uint32_t lbn : lbns) w.u64(lbn);
+  // Iterate the fixed peer list (not the unordered live set) so the send
+  // order is deterministic.
+  for (const Peer& p : peers_) {
+    if (p.id == config_.self_id || !live_.contains(p.id)) continue;
+    sock_.send_meta({stack_.primary_ip(), p.ip, config_.port}, head);
+    ++stats_.invalidates_sent;
+  }
+}
+
+void PeerCache::apply_membership(std::uint32_t epoch,
+                                 const std::vector<std::uint32_t>& live) {
+  if (epoch <= epoch_) return;  // stale or duplicate broadcast
+  epoch_ = epoch;
+  ++stats_.membership_updates;
+  ring_ = HashRing(config_.vnodes);
+  live_.clear();
+  for (std::uint32_t id : live) {
+    if (!peer_ip(id)) continue;  // unknown member: ignore
+    ring_.add_member(id);
+    live_.insert(id);
+  }
+  if (ring_.empty() || !ncache_ || !running_) return;
+
+  // Re-home cached chunks the new ring assigns to another live member, so
+  // fetches routed by the rebuilt ring hit immediately. lbn_keys() is
+  // sorted, which keeps the transfer order deterministic.
+  std::size_t moved = 0;
+  for (const netbuf::LbnKey& key : ncache_->cache().lbn_keys()) {
+    if (key.target != config_.target_id) continue;
+    if (moved >= config_.max_transfer_blocks) break;
+    std::uint32_t owner = owner_of(key.lbn);
+    if (owner == config_.self_id) continue;
+    auto chain = ncache_->cache().lookup(netbuf::CacheKey{key});
+    if (!chain) continue;
+    std::vector<std::byte> head;
+    ByteWriter w(head);
+    w.u32(std::uint32_t(PeerMsg::Transfer));
+    w.u64(key.lbn);
+    w.u32(1);
+    sock_.send_data(peer_endpoint(owner), head, *chain, sock::Via::Sendfile);
+    ++stats_.transfers_sent;
+    ++stats_.blocks_transferred;
+    ++moved;
+  }
+}
+
+std::optional<MsgBuffer> PeerCache::local_block(std::uint64_t lbn) {
+  if (ncache_ &&
+      ncache_->cache().contains_lbn(lbn, config_.target_id)) {
+    auto hit = ncache_->cache().lookup(
+        netbuf::CacheKey{netbuf::LbnKey{config_.target_id, lbn}});
+    if (hit && hit->size() == fs::kBlockSize) return hit;
+  }
+  if (fs_) {
+    auto blk = fs_->cache().peek(lbn);
+    if (blk && blk->valid && !blk->metadata &&
+        blk->data.size() == fs::kBlockSize && blk->data.fully_physical()) {
+      return blk->data;  // ByteSegs share buffers; no copy here
+    }
+  }
+  return std::nullopt;
+}
+
+void PeerCache::on_datagram(proto::Ipv4Addr src_ip, std::uint16_t src_port,
+                            proto::Ipv4Addr dst_ip, std::uint16_t /*dst_port*/,
+                            MsgBuffer msg) {
+  if (!running_ || msg.size() < 4) return;
+  auto type_bytes = msg.peek_bytes(4);
+  ByteReader tr(type_bytes);
+  auto type = PeerMsg(tr.u32());
+  switch (type) {
+    case PeerMsg::Fetch: {
+      if (msg.size() < 20) return;
+      auto bytes = msg.peek_bytes(20);
+      ByteReader head(bytes);
+      head.skip(4);
+      handle_fetch(src_ip, src_port, dst_ip, head);
+      return;
+    }
+    case PeerMsg::FetchReply: {
+      if (msg.size() < kFetchReplyHeadBytes) return;
+      auto bytes = msg.peek_bytes(kFetchReplyHeadBytes);
+      ByteReader head(bytes);
+      head.skip(4);
+      handle_fetch_reply(head, msg);
+      return;
+    }
+    case PeerMsg::Invalidate: {
+      auto bytes = msg.to_bytes();
+      ByteReader head(bytes);
+      head.skip(4);
+      handle_invalidate(head);
+      return;
+    }
+    case PeerMsg::Transfer: {
+      if (msg.size() < kTransferHeadBytes) return;
+      auto bytes = msg.peek_bytes(kTransferHeadBytes);
+      ByteReader head(bytes);
+      head.skip(4);
+      handle_transfer(head, msg);
+      return;
+    }
+    case PeerMsg::Membership: {
+      auto bytes = msg.to_bytes();
+      ByteReader head(bytes);
+      head.skip(4);
+      handle_membership(head);
+      return;
+    }
+    case PeerMsg::Heartbeat: {
+      if (msg.size() < 8) return;
+      auto bytes = msg.peek_bytes(8);
+      ByteReader head(bytes);
+      head.skip(4);
+      std::uint32_t hb_seq = head.u32();
+      std::vector<std::byte> ack;
+      ByteWriter w(ack);
+      w.u32(std::uint32_t(PeerMsg::HeartbeatAck));
+      w.u32(hb_seq);
+      w.u32(config_.self_id);
+      ++stats_.heartbeats_answered;
+      sock_.send_meta({dst_ip, src_ip, src_port}, ack);
+      return;
+    }
+    case PeerMsg::HeartbeatAck:
+      return;  // balancer-side message; not ours
+  }
+}
+
+void PeerCache::handle_fetch(proto::Ipv4Addr src_ip, std::uint16_t src_port,
+                             proto::Ipv4Addr dst_ip, ByteReader& head) {
+  std::uint32_t seq = head.u32();
+  std::uint64_t lbn = head.u64();
+  std::uint32_t count = head.u32();
+
+  MsgBuffer payload;
+  // Fetches are extent-sized by construction (the block client splits
+  // multi-extent runs), which also keeps every reply one legal datagram.
+  bool all = count > 0 && count <= kExtentBlocks;
+  for (std::uint32_t i = 0; all && i < count; ++i) {
+    auto blk = local_block(lbn + i);
+    if (!blk) {
+      all = false;
+      break;
+    }
+    payload.append(std::move(*blk));
+  }
+
+  std::vector<std::byte> rhead;
+  ByteWriter w(rhead);
+  w.u32(std::uint32_t(PeerMsg::FetchReply));
+  w.u32(seq);
+  w.u32(all ? 1 : 0);
+  w.u32(all ? count : 0);
+  sock::UdpSocket::Endpoint ep{dst_ip, src_ip, src_port};
+  if (all) {
+    ++stats_.serve_hits;
+    // The mode seam: Original relays with physical copies, NCache forwards
+    // the chain as a logical copy (one crossing — in-kernel agent).
+    sock_.send_data(ep, rhead, payload, sock::Via::Sendfile);
+  } else {
+    ++stats_.serve_misses;
+    sock_.send_meta(ep, rhead);
+  }
+}
+
+void PeerCache::handle_fetch_reply(ByteReader& head, const MsgBuffer& msg) {
+  std::uint32_t seq = head.u32();
+  std::uint32_t hit = head.u32();
+  std::uint32_t count = head.u32();
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // timed out; late reply dropped
+  auto fn = std::move(it->second);
+  pending_.erase(it);
+  std::size_t want = std::size_t(count) * fs::kBlockSize;
+  if (hit != 0 && count > 0 && msg.size() == kFetchReplyHeadBytes + want) {
+    ++stats_.peer_hits;
+    fn(msg.slice(kFetchReplyHeadBytes, want));
+  } else {
+    ++stats_.peer_misses;
+    fn(std::nullopt);
+  }
+}
+
+void PeerCache::handle_invalidate(ByteReader& head) {
+  ++stats_.invalidates_received;
+  std::uint32_t n = head.u32();
+  for (std::uint32_t i = 0; i < n && head.remaining() >= 8; ++i) {
+    std::uint64_t lbn = head.u64();
+    bool dropped = false;
+    if (fs_ && fs_->cache().discard(lbn)) dropped = true;
+    if (ncache_ && ncache_->cache().invalidate_lbn(
+                       netbuf::LbnKey{config_.target_id, lbn})) {
+      dropped = true;
+    }
+    if (dropped) ++stats_.blocks_invalidated;
+  }
+}
+
+void PeerCache::handle_transfer(ByteReader& head, const MsgBuffer& msg) {
+  if (!ncache_) return;  // nothing to ingest into (Original mode)
+  std::uint64_t lbn = head.u64();
+  std::uint32_t count = head.u32();
+  std::size_t want = std::size_t(count) * fs::kBlockSize;
+  if (count == 0 || msg.size() != kTransferHeadBytes + want) return;
+  ++stats_.transfers_received;
+  MsgBuffer payload = msg.slice(kTransferHeadBytes, want);
+  if (!payload.fully_physical()) return;  // junk/unresolved keys: drop
+  for (std::uint32_t i = 0; i < count; ++i) {
+    // Ingest and discard the key message — nothing travels up here; the
+    // point is populating the owner's cache for future fetches.
+    (void)ncache_->ingest_lbn(config_.target_id, lbn + i,
+                              payload.slice(std::size_t(i) * fs::kBlockSize,
+                                            fs::kBlockSize));
+  }
+}
+
+void PeerCache::handle_membership(ByteReader& head) {
+  std::uint32_t epoch = head.u32();
+  std::uint32_t n = head.u32();
+  std::vector<std::uint32_t> live;
+  live.reserve(n);
+  for (std::uint32_t i = 0; i < n && head.remaining() >= 4; ++i) {
+    live.push_back(head.u32());
+  }
+  apply_membership(epoch, live);
+}
+
+void PeerCache::register_metrics(MetricRegistry& registry,
+                                 const std::string& node) {
+  registry.counter(node, "peer.fetches_sent",
+                   [this] { return stats_.fetches_sent; });
+  registry.counter(node, "peer.hits", [this] { return stats_.peer_hits; });
+  registry.counter(node, "peer.misses", [this] { return stats_.peer_misses; });
+  registry.counter(node, "peer.fetch_timeouts",
+                   [this] { return stats_.fetch_timeouts; });
+  registry.counter(node, "peer.serve_hits",
+                   [this] { return stats_.serve_hits; });
+  registry.counter(node, "peer.serve_misses",
+                   [this] { return stats_.serve_misses; });
+  registry.counter(node, "peer.pushes", [this] { return stats_.pushes; });
+  registry.counter(node, "peer.invalidates_sent",
+                   [this] { return stats_.invalidates_sent; });
+  registry.counter(node, "peer.invalidates_received",
+                   [this] { return stats_.invalidates_received; });
+  registry.counter(node, "peer.blocks_invalidated",
+                   [this] { return stats_.blocks_invalidated; });
+  registry.counter(node, "peer.transfers_sent",
+                   [this] { return stats_.transfers_sent; });
+  registry.counter(node, "peer.transfers_received",
+                   [this] { return stats_.transfers_received; });
+  registry.counter(node, "peer.blocks_transferred",
+                   [this] { return stats_.blocks_transferred; });
+  registry.counter(node, "peer.membership_updates",
+                   [this] { return stats_.membership_updates; });
+  registry.counter(node, "peer.heartbeats_answered",
+                   [this] { return stats_.heartbeats_answered; });
+  registry.gauge(node, "peer.ring_members",
+                 [this] { return double(ring_.member_count()); });
+  registry.gauge(node, "peer.epoch", [this] { return double(epoch_); });
+  registry.on_reset([this] { reset_stats(); });
+}
+
+// ---- PeerBlockClient ---------------------------------------------------------
+
+Task<MsgBuffer> PeerBlockClient::read_blocks(std::uint64_t lbn,
+                                             std::uint32_t count,
+                                             bool metadata) {
+  // Metadata is interpreted above us and always classified to the physical
+  // path; disabled/stopped peering is a pure fall-through.
+  if (metadata || !peers_.enabled() || !peers_.running()) {
+    co_return co_await initiator_.read_blocks(lbn, count, metadata);
+  }
+
+  if (ncache_) {
+    bool all_local = count > 0;
+    for (std::uint32_t i = 0; all_local && i < count; ++i) {
+      all_local = ncache_->cache().contains_lbn(
+          lbn + i, peers_.config().target_id);
+    }
+    if (all_local) {
+      // The initiator's second-level-cache probe serves this without
+      // touching the network.
+      ++stats_.local_reads;
+      co_return co_await initiator_.read_blocks(lbn, count, metadata);
+    }
+  }
+
+  // Ownership changes every kExtentBlocks, so a run that crosses an extent
+  // boundary may belong to several peers; split it and recurse, one extent
+  // per piece. This also bounds every fetch/push at one legal datagram
+  // (coalesced readahead runs can otherwise exceed the 64 KB UDP limit).
+  std::uint64_t extent_end = (lbn / kExtentBlocks + 1) * kExtentBlocks;
+  if (lbn + count > extent_end) {
+    MsgBuffer out;
+    std::uint64_t at = lbn;
+    std::uint32_t left = count;
+    while (left > 0) {
+      auto piece = std::uint32_t(std::min<std::uint64_t>(
+          left, (at / kExtentBlocks + 1) * kExtentBlocks - at));
+      out.append(co_await read_blocks(at, piece, metadata));
+      at += piece;
+      left -= piece;
+    }
+    co_return out;
+  }
+
+  if (!peers_.is_owner(lbn)) {
+    auto hit = co_await peers_.fetch(lbn, count);
+    if (hit) {
+      ++stats_.peer_reads;
+      if (ncache_) {
+        // Populate the local LBN cache and hand keys up, exactly as an
+        // initiator ingest would.
+        MsgBuffer keys;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          keys.append(ncache_->ingest_lbn(
+              peers_.config().target_id, lbn + i,
+              hit->slice(std::size_t(i) * fs::kBlockSize, fs::kBlockSize)));
+        }
+        co_return keys;
+      }
+      co_return std::move(*hit);
+    }
+  }
+
+  ++stats_.target_reads;
+  MsgBuffer data = co_await initiator_.read_blocks(lbn, count, metadata);
+  if (!peers_.is_owner(lbn)) peers_.push_to_owner(lbn, count, data);
+  co_return data;
+}
+
+Task<bool> PeerBlockClient::write_blocks(std::uint64_t lbn, MsgBuffer data,
+                                         bool metadata) {
+  // Writes always go to the target; coherence is the NFS write observer's
+  // job (flush then INVALIDATE broadcast), not the block layer's.
+  co_return co_await initiator_.write_blocks(lbn, std::move(data), metadata);
+}
+
+void PeerBlockClient::register_metrics(MetricRegistry& registry,
+                                       const std::string& node) {
+  registry.counter(node, "peer.reads_local",
+                   [this] { return stats_.local_reads; });
+  registry.counter(node, "peer.reads_peer",
+                   [this] { return stats_.peer_reads; });
+  registry.counter(node, "peer.reads_target",
+                   [this] { return stats_.target_reads; });
+  registry.on_reset([this] { reset_stats(); });
+}
+
+}  // namespace ncache::cluster

@@ -1,0 +1,219 @@
+// Cooperative NCache peering across replicas (the scale-out extension).
+//
+// Every pass-through replica runs a PeerCache agent on a dedicated UDP
+// port. Cached regular-data blocks have a single hash-designated *owner*
+// replica (consistent hashing over 8-block extents); on a local miss the
+// replica asks the owner before touching the iSCSI target:
+//
+//   * FETCH / FETCH_REPLY — the requester names an LBN run; the owner
+//     answers from its network-centric cache (or its fs buffer cache) with
+//     the wire-format chain as a logical copy, or reports a miss. Only a
+//     peer miss falls through to the target.
+//   * TRANSFER — unsolicited chunk push: after a target read the requester
+//     pushes the bytes to the hash owner (so the next replica's miss hits),
+//     and after a membership change each replica re-homes chunks the new
+//     ring assigns elsewhere.
+//   * INVALIDATE — write coherence: the replica that served an NFS WRITE
+//     flushes, then broadcasts the dirtied LBNs; every peer drops its
+//     copies (fs cache and NCache both). Replicas converge within one
+//     flush+invalidate round.
+//   * MEMBERSHIP — epoch-numbered live-set broadcasts from the load
+//     balancer; each agent rebuilds its ring identically.
+//   * HEARTBEAT / HEARTBEAT_ACK — the balancer's liveness probe.
+//
+// All messages ride the existing proto/sock stack; payloads go through the
+// extended-socket mode seam, so in NCache mode a fetched chunk crosses the
+// owner's boundaries as a logical copy and materializes at its NIC.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "core/ncache_module.h"
+#include "core/pass_mode.h"
+#include "fs/simple_fs.h"
+#include "sock/socket.h"
+
+namespace ncache::cluster {
+
+/// Peering agent port (NFS is 2049; keep clear of ephemeral NAT range).
+constexpr std::uint16_t kPeerPort = 2149;
+/// Load-balancer heartbeat/membership control port.
+constexpr std::uint16_t kLbControlPort = 2150;
+/// Ownership granularity: one 8-block (32 KB) extent — matches the NFS
+/// max I/O size, so one client read maps to one owner.
+constexpr std::uint32_t kExtentBlocks = 8;
+
+enum class PeerMsg : std::uint32_t {
+  Fetch = 1,
+  FetchReply = 2,
+  Invalidate = 3,
+  Transfer = 4,
+  Membership = 5,
+  Heartbeat = 6,
+  HeartbeatAck = 7,
+};
+
+struct Peer {
+  std::uint32_t id = 0;
+  proto::Ipv4Addr ip = 0;
+};
+
+struct PeerCacheStats {
+  std::uint64_t fetches_sent = 0;
+  std::uint64_t peer_hits = 0;    ///< fetches answered with data
+  std::uint64_t peer_misses = 0;  ///< fetches answered miss
+  std::uint64_t fetch_timeouts = 0;
+  std::uint64_t serve_hits = 0;    ///< fetches we answered with data
+  std::uint64_t serve_misses = 0;  ///< fetches we answered miss
+  std::uint64_t pushes = 0;        ///< miss-path chunk pushes to the owner
+  std::uint64_t invalidates_sent = 0;      ///< broadcast datagrams
+  std::uint64_t invalidates_received = 0;  ///< datagrams handled
+  std::uint64_t blocks_invalidated = 0;    ///< blocks actually dropped
+  std::uint64_t transfers_sent = 0;
+  std::uint64_t transfers_received = 0;
+  std::uint64_t blocks_transferred = 0;  ///< rebalance re-homing, sent side
+  std::uint64_t membership_updates = 0;  ///< epoch advances applied
+  std::uint64_t heartbeats_answered = 0;
+};
+
+/// One replica's peering agent. Construct, `attach()` the caches once they
+/// exist (the block client interposes *under* the fs, so construction
+/// order forces late wiring), then `start()`.
+class PeerCache {
+ public:
+  struct Config {
+    std::uint32_t self_id = 0;
+    std::uint32_t target_id = 0;  ///< iSCSI target the LBNs belong to
+    core::PassMode mode = core::PassMode::Original;
+    bool enabled = true;       ///< peering on/off (off: pure fall-through)
+    bool push_on_miss = true;  ///< push target reads to the hash owner
+    std::uint16_t port = kPeerPort;
+    sim::Duration fetch_timeout = 10 * sim::kMillisecond;
+    /// Cap on chunks re-homed per membership change (bounds the rebalance
+    /// burst on the wire).
+    std::size_t max_transfer_blocks = 256;
+    int vnodes = 64;
+  };
+
+  PeerCache(proto::NetworkStack& stack, Config config, std::vector<Peer> peers);
+
+  /// Wires the caches this agent serves from / invalidates into. Either
+  /// may be null (ncache is null outside NCache mode).
+  void attach(core::NCacheModule* ncache, fs::SimpleFs* fs);
+
+  void start();
+  void stop();
+  bool running() const noexcept { return running_; }
+  bool enabled() const noexcept { return config_.enabled; }
+
+  /// The replica owning `lbn`'s extent under the current ring. Callers
+  /// must not ask when the ring is empty (cannot happen while self runs:
+  /// a live agent is always its own member).
+  std::uint32_t owner_of(std::uint64_t lbn) const;
+  bool is_owner(std::uint64_t lbn) const {
+    return owner_of(lbn) == config_.self_id;
+  }
+
+  /// Asks the owner of `lbn` for `count` blocks. Resolves with the
+  /// payload chain on a peer hit, nullopt on miss/timeout.
+  Task<std::optional<netbuf::MsgBuffer>> fetch(std::uint64_t lbn,
+                                               std::uint32_t count);
+
+  /// Pushes freshly-read blocks to their hash owner (miss path; NCache
+  /// mode only — there is no cache to ingest into otherwise).
+  void push_to_owner(std::uint64_t lbn, std::uint32_t count,
+                     const netbuf::MsgBuffer& chain);
+
+  /// Write coherence: tells every live peer to drop these LBNs.
+  void broadcast_invalidate(const std::vector<std::uint32_t>& lbns);
+
+  /// Applies an epoch-numbered live set (stale epochs ignored), then
+  /// re-homes cached chunks the new ring assigns to other live members.
+  void apply_membership(std::uint32_t epoch,
+                        const std::vector<std::uint32_t>& live);
+
+  std::uint32_t epoch() const noexcept { return epoch_; }
+  const HashRing& ring() const noexcept { return ring_; }
+  const Config& config() const noexcept { return config_; }
+  const PeerCacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = PeerCacheStats{}; }
+
+  /// Publishes peer.* counters and ring gauges under `node`.
+  void register_metrics(MetricRegistry& registry, const std::string& node);
+
+ private:
+  void on_datagram(proto::Ipv4Addr src_ip, std::uint16_t src_port,
+                   proto::Ipv4Addr dst_ip, std::uint16_t dst_port,
+                   netbuf::MsgBuffer msg);
+  void handle_fetch(proto::Ipv4Addr src_ip, std::uint16_t src_port,
+                    proto::Ipv4Addr dst_ip, ByteReader& head);
+  void handle_fetch_reply(ByteReader& head, const netbuf::MsgBuffer& msg);
+  void handle_invalidate(ByteReader& head);
+  void handle_transfer(ByteReader& head, const netbuf::MsgBuffer& msg);
+  void handle_membership(ByteReader& head);
+
+  /// One block from the local caches in wire-ready physical form, or
+  /// nullopt (serving never touches the target — that is the requester's
+  /// fall-through, charged to *its* node).
+  std::optional<netbuf::MsgBuffer> local_block(std::uint64_t lbn);
+
+  std::optional<proto::Ipv4Addr> peer_ip(std::uint32_t id) const;
+  sock::UdpSocket::Endpoint peer_endpoint(std::uint32_t id) const;
+
+  proto::NetworkStack& stack_;
+  Config config_;
+  std::vector<Peer> peers_;
+  core::NCacheModule* ncache_ = nullptr;
+  fs::SimpleFs* fs_ = nullptr;
+  sock::UdpSocket sock_;
+
+  HashRing ring_;
+  std::unordered_set<std::uint32_t> live_;
+  std::uint32_t epoch_ = 0;
+
+  bool running_ = false;
+  std::uint32_t next_seq_ = 1;
+  std::unordered_map<std::uint32_t,
+                     std::function<void(std::optional<netbuf::MsgBuffer>)>>
+      pending_;
+
+  PeerCacheStats stats_;
+};
+
+struct PeerBlockClientStats {
+  std::uint64_t local_reads = 0;   ///< served by the local NCache probe
+  std::uint64_t peer_reads = 0;    ///< served by a peer fetch
+  std::uint64_t target_reads = 0;  ///< fell through to the iSCSI target
+};
+
+/// The interposition seam: sits between the fs buffer cache and the iSCSI
+/// initiator, steering regular-data misses through the peer protocol.
+/// Metadata always goes straight to the target (§3.3 classification — a
+/// peer cannot be trusted to hold interpretable metadata).
+class PeerBlockClient final : public iscsi::BlockClient {
+ public:
+  PeerBlockClient(iscsi::IscsiInitiator& initiator, PeerCache& peers,
+                  core::NCacheModule* ncache)
+      : initiator_(initiator), peers_(peers), ncache_(ncache) {}
+
+  Task<netbuf::MsgBuffer> read_blocks(std::uint64_t lbn, std::uint32_t count,
+                                      bool metadata) override;
+  Task<bool> write_blocks(std::uint64_t lbn, netbuf::MsgBuffer data,
+                          bool metadata) override;
+
+  const PeerBlockClientStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = PeerBlockClientStats{}; }
+  void register_metrics(MetricRegistry& registry, const std::string& node);
+
+ private:
+  iscsi::IscsiInitiator& initiator_;
+  PeerCache& peers_;
+  core::NCacheModule* ncache_;
+  PeerBlockClientStats stats_;
+};
+
+}  // namespace ncache::cluster

@@ -1,5 +1,7 @@
 #include "core/net_centric_cache.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace ncache::core {
@@ -149,6 +151,24 @@ std::optional<MsgBuffer> NetCentricCache::lookup(const CacheKey& key) {
 bool NetCentricCache::contains_lbn(std::uint64_t lbn_block,
                                    std::uint32_t target) const {
   return lbn_index_.contains(LbnKey{target, lbn_block});
+}
+
+std::vector<LbnKey> NetCentricCache::lbn_keys() const {
+  std::vector<LbnKey> keys;
+  keys.reserve(lbn_index_.size());
+  for (const auto& [key, chunk] : lbn_index_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end(), [](const LbnKey& a, const LbnKey& b) {
+    return a.target != b.target ? a.target < b.target : a.lbn < b.lbn;
+  });
+  return keys;
+}
+
+bool NetCentricCache::invalidate_lbn(const LbnKey& key) {
+  auto it = lbn_index_.find(key);
+  if (it == lbn_index_.end()) return false;
+  cpu_.charge(costs_.ncache_manage_ns);
+  drop_chunk(*it->second);
+  return true;
 }
 
 bool NetCentricCache::remap(FhoKey fho, LbnKey lbn) {

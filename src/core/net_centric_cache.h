@@ -85,6 +85,16 @@ class NetCentricCache {
   /// second-level-cache check).
   bool contains_lbn(std::uint64_t lbn_block, std::uint32_t target) const;
 
+  /// Every LBN key currently cached, in ascending (target, lbn) order so
+  /// callers iterate deterministically. Cluster peering walks this on a
+  /// membership change to push chunks to their new hash owner.
+  std::vector<netbuf::LbnKey> lbn_keys() const;
+
+  /// Drops the chunk under `key` (peer write-invalidation). Returns false
+  /// when not cached. In-flight frames referencing the chunk keep their
+  /// buffer pins; only the cache's claim is released.
+  bool invalidate_lbn(const netbuf::LbnKey& key);
+
   // ---- remapping -------------------------------------------------------------
   /// Moves the chunk under `fho` to the LBN index under `lbn`, marking it
   /// clean (the triggering flush is writing it to storage). Keeps a

@@ -307,6 +307,17 @@ void BufferCache::discard_all() {
   map_.clear();
 }
 
+bool BufferCache::discard(std::uint64_t lbn) {
+  auto it = map_.find(lbn);
+  if (it == map_.end()) return false;
+  BlockPtr b = it->second;
+  b->dirty = false;  // do NOT flush: the target already holds fresher bytes
+  b->valid = false;
+  lru_.remove(*b);
+  map_.erase(it);
+  return true;
+}
+
 void BufferCache::register_metrics(MetricRegistry& registry,
                                    const std::string& node) {
   registry.counter(node, "fscache.hits", [this] { return stats_.hits; });

@@ -95,6 +95,20 @@ class BufferCache {
   void discard_all();
 
   bool contains(std::uint64_t lbn) const { return map_.contains(lbn); }
+
+  /// The resident block, or nullptr — no I/O, no LRU touch (cluster peers
+  /// probe each other's caches through this; a probe must not look like a
+  /// local access).
+  BlockPtr peek(std::uint64_t lbn) const {
+    auto it = map_.find(lbn);
+    return it == map_.end() ? nullptr : it->second;
+  }
+
+  /// Forgets one block without flushing it, dirty or not (remote write
+  /// invalidation: the writer's replica already put fresh bytes on the
+  /// target, so whatever this cache holds is stale). Returns whether the
+  /// block was resident. External holders keep their (stale) pins.
+  bool discard(std::uint64_t lbn);
   std::size_t size() const noexcept { return map_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }
   void set_capacity(std::size_t blocks) noexcept { capacity_ = blocks; }

@@ -658,4 +658,20 @@ Task<bool> SimpleFs::truncate(std::uint32_t ino, std::uint64_t new_size) {
 
 Task<void> SimpleFs::sync() { co_await cache_.flush_all(); }
 
+Task<std::vector<std::uint32_t>> SimpleFs::map_range(std::uint32_t ino,
+                                                     std::uint64_t off,
+                                                     std::uint32_t len) {
+  std::vector<std::uint32_t> lbns;
+  if (len == 0) co_return lbns;
+  DiskInode in = co_await load_inode(ino);
+  std::uint64_t end = std::min<std::uint64_t>(off + len, in.size);
+  if (off >= end) co_return lbns;
+  for (std::uint64_t fb = off / kBlockSize; fb <= (end - 1) / kBlockSize;
+       ++fb) {
+    std::uint32_t lbn = co_await bmap(in, fb);
+    if (lbn != kInvalidBlock) lbns.push_back(lbn);
+  }
+  co_return lbns;
+}
+
 }  // namespace ncache::fs

@@ -74,6 +74,13 @@ class SimpleFs {
   /// Flushes all dirty buffers.
   Task<void> sync();
 
+  /// Maps the byte range [off, off+len) of `ino` to its on-disk LBNs
+  /// (holes omitted). Cluster write-invalidation uses this to name the
+  /// blocks a WRITE touched when telling peer replicas to drop them.
+  Task<std::vector<std::uint32_t>> map_range(std::uint32_t ino,
+                                             std::uint64_t off,
+                                             std::uint32_t len);
+
   BufferCache& cache() noexcept { return cache_; }
   const SuperBlock& superblock() const { return sb_; }
   const FsStats& stats() const noexcept { return stats_; }

@@ -242,6 +242,7 @@ Task<void> NfsServer::do_write(const Request& req, const CallHeader& call,
       co_await fs_.write(std::uint32_t(args.fh), args.offset,
                          std::move(content));
   stats_.write_bytes += wrote;
+  if (on_write_ && wrote > 0) on_write_(args.fh, args.offset, wrote);
   Fattr attr = co_await fattr_of(args.fh);
 
   std::vector<std::byte> reply_body;

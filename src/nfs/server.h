@@ -66,6 +66,16 @@ class NfsServer {
   bool running() const noexcept { return running_; }
 
   ServerMode mode() const noexcept { return config_.mode; }
+
+  /// Fires after a successful WRITE lands in the file system, with the
+  /// written range. The cluster layer hangs write-invalidation off this
+  /// (flush + INVALIDATE broadcast to peer replicas); a single-server
+  /// testbed leaves it unset. Must not block — long work detaches.
+  using WriteObserver =
+      std::function<void(std::uint64_t fh, std::uint64_t offset,
+                         std::uint32_t count)>;
+  void set_write_observer(WriteObserver fn) { on_write_ = std::move(fn); }
+
   const NfsServerStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = NfsServerStats{}; }
 
@@ -117,6 +127,7 @@ class NfsServer {
   std::deque<Request> queue_;
   std::deque<std::function<void(std::optional<Request>)>> waiting_;
   int live_daemons_ = 0;
+  WriteObserver on_write_;
   NfsServerStats stats_;
 };
 

@@ -20,22 +20,20 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   switch_ = std::make_unique<proto::EthernetSwitch>(loop_, "switch",
                                                     config_.costs);
 
-  storage_ = std::make_unique<Node>(loop_, config_.costs, book_, "storage");
-  storage_->stack.add_nic(0x10, kStorageIp);
-  switch_->connect(storage_->stack.nic(0));
+  storage_ = make_wired_node(loop_, config_.costs, book_, *switch_, "storage",
+                             {{0x10, kStorageIp}});
 
-  server_ = std::make_unique<Node>(loop_, config_.costs, book_, "server");
+  std::vector<NicSpec> server_nics;
   for (int n = 0; n < config_.server_nics; ++n) {
-    server_->stack.add_nic(0x20 + std::uint64_t(n), server_ip(n));
-    switch_->connect(server_->stack.nic(std::size_t(n)));
+    server_nics.push_back({0x20 + std::uint64_t(n), server_ip(n)});
   }
+  server_ = make_wired_node(loop_, config_.costs, book_, *switch_, "server",
+                            server_nics);
 
   for (int i = 0; i < config_.client_count; ++i) {
-    auto client = std::make_unique<Node>(loop_, config_.costs, book_,
-                                         "client" + std::to_string(i));
-    client->stack.add_nic(0x30 + std::uint64_t(i), client_ip(i));
-    switch_->connect(client->stack.nic(0));
-    clients_.push_back(std::move(client));
+    clients_.push_back(make_wired_node(loop_, config_.costs, book_, *switch_,
+                                       "client" + std::to_string(i),
+                                       {{0x30 + std::uint64_t(i), client_ip(i)}}));
   }
 
   store_ = std::make_unique<blockdev::BlockStore>(
@@ -131,11 +129,7 @@ void Testbed::crash_server() {
   server_crashed_ = true;
   // Cables first: frames already queued by the dying daemons must vanish
   // on the wire instead of racing the restarted instance.
-  for (std::size_t n = 0; n < server_->stack.nic_count(); ++n) {
-    auto& cable = switch_->cable_of(server_->stack.nic(n));
-    cable.a_to_b.set_admin_up(false);
-    cable.b_to_a.set_admin_up(false);
-  }
+  set_cables(*switch_, server_->stack, false);
   initiator_->abort_session(/*allow_reconnect=*/false);
   if (nfs_server_) nfs_server_->stop();
   fs_->cache().discard_all();
@@ -146,11 +140,7 @@ void Testbed::crash_server() {
 void Testbed::restart_server() {
   if (!server_crashed_) return;
   server_crashed_ = false;
-  for (std::size_t n = 0; n < server_->stack.nic_count(); ++n) {
-    auto& cable = switch_->cable_of(server_->stack.nic(n));
-    cable.a_to_b.set_admin_up(true);
-    cable.b_to_a.set_admin_up(true);
-  }
+  set_cables(*switch_, server_->stack, true);
   restart_task().detach(loop_.reaper());
 }
 

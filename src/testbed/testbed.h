@@ -28,29 +28,9 @@
 #include "nfs/client.h"
 #include "nfs/server.h"
 #include "proto/switch.h"
+#include "testbed/wiring.h"
 
 namespace ncache::testbed {
-
-/// One simulated host: CPU + copy engine + network stack.
-struct Node {
-  Node(sim::EventLoop& loop, const sim::CostModel& costs,
-       std::shared_ptr<proto::AddressBook> book, std::string name)
-      : cpu(loop, name + ".cpu"),
-        copier(cpu, costs),
-        stack(loop, cpu, copier, costs, name, std::move(book)) {}
-
-  sim::CpuModel cpu;
-  netbuf::CopyEngine copier;
-  proto::NetworkStack stack;
-
-  /// Registers this host's CPU, copy engine and stack/NIC metrics under
-  /// one node label.
-  void register_metrics(MetricRegistry& registry, const std::string& node) {
-    cpu.register_metrics(registry, node);
-    copier.register_metrics(registry, node);
-    stack.register_metrics(registry, node);
-  }
-};
 
 struct TestbedConfig {
   core::PassMode mode = core::PassMode::Original;

@@ -1,0 +1,29 @@
+#include "testbed/wiring.h"
+
+namespace ncache::testbed {
+
+std::unique_ptr<Node> make_wired_node(sim::EventLoop& loop,
+                                      const sim::CostModel& costs,
+                                      std::shared_ptr<proto::AddressBook> book,
+                                      proto::EthernetSwitch& ether,
+                                      std::string name,
+                                      const std::vector<NicSpec>& nics) {
+  auto node = std::make_unique<Node>(loop, costs, std::move(book),
+                                     std::move(name));
+  for (const auto& spec : nics) {
+    node->stack.add_nic(spec.mac, spec.ip);
+    ether.connect(node->stack.nic(node->stack.nic_count() - 1));
+  }
+  return node;
+}
+
+void set_cables(proto::EthernetSwitch& ether, proto::NetworkStack& stack,
+                bool up) {
+  for (std::size_t n = 0; n < stack.nic_count(); ++n) {
+    auto& cable = ether.cable_of(stack.nic(n));
+    cable.a_to_b.set_admin_up(up);
+    cable.b_to_a.set_admin_up(up);
+  }
+}
+
+}  // namespace ncache::testbed

@@ -3,6 +3,8 @@
 // the measurement driver.
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "common/zipf.h"
 #include "http/khttpd.h"
 #include "testbed/testbed.h"
 #include "workload/nfs_workloads.h"
@@ -187,6 +189,83 @@ TEST(Workers, SpecSfsMixProducesBothKinds) {
   EXPECT_GT(tb.nfs_server().stats().reads, 0u);
   EXPECT_GT(tb.nfs_server().stats().writes, 0u);
   EXPECT_GT(tb.nfs_server().stats().metadata_ops, 0u);
+}
+
+TEST(Trace, RecordedZipfTraceReplaysDeterministically) {
+  // Record: sample a Zipf-popular op sequence into a trace, push it
+  // through the text format (as a file on disk would), and replay the
+  // parsed copy on two fresh same-config testbeds. Everything observable
+  // must match run-to-run: op/byte/error counts, latency distribution,
+  // and the server-side counters.
+  auto record = [](const std::vector<std::uint64_t>& fhs) {
+    ZipfSampler zipf(fhs.size(), 0.9);
+    Pcg32 rng(/*seed=*/4242, /*stream=*/7);
+    std::vector<TraceOp> ops;
+    for (int i = 0; i < 200; ++i) {
+      TraceOp op;
+      op.at = sim::Duration(i) * 500 * sim::kMicrosecond;
+      op.type = TraceOpType::Read;
+      op.fh = fhs[zipf.sample(rng)];
+      op.offset = 32768ull * rng.below(2);
+      op.len = 32768;
+      ops.push_back(op);
+    }
+    return ops;
+  };
+
+  struct Replay {
+    Counters counters;
+    std::uint64_t server_reads = 0;
+    std::uint64_t server_read_bytes = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+  };
+  auto replay = [&](const std::string& text) {
+    TestbedConfig cfg;
+    cfg.mode = PassMode::NCache;
+    Testbed tb(cfg);
+    std::vector<std::uint64_t> fhs;
+    for (int i = 0; i < 16; ++i) {
+      fhs.push_back(tb.image().add_file("t" + std::to_string(i), 64 * 1024));
+    }
+    tb.start_nfs();
+    // The trace was recorded against the same deterministic image, so the
+    // file handles in the text match this run's inodes.
+    TracePlayer player(tb.loop(), tb.nfs_client(0), TracePlayer::parse(text));
+    Replay r;
+    sim::sync_wait(tb.loop(), player.play_closed(&r.counters));
+    r.server_reads = tb.nfs_server().stats().reads;
+    r.server_read_bytes = tb.nfs_server().stats().read_bytes;
+    r.p50 = r.counters.latency.quantile_ns(0.5);
+    r.p99 = r.counters.latency.quantile_ns(0.99);
+    return r;
+  };
+
+  // The recorded handles come from the deterministic image builder: build
+  // one throwaway testbed just to learn them.
+  std::vector<std::uint64_t> fhs;
+  {
+    TestbedConfig cfg;
+    Testbed tb(cfg);
+    for (int i = 0; i < 16; ++i) {
+      fhs.push_back(tb.image().add_file("t" + std::to_string(i), 64 * 1024));
+    }
+  }
+  std::string text = TracePlayer::format(record(fhs));
+  EXPECT_EQ(TracePlayer::parse(text), record(fhs));  // record round-trips
+
+  Replay a = replay(text);
+  Replay b = replay(text);
+  EXPECT_EQ(a.counters.ops, 200u);
+  EXPECT_EQ(a.counters.errors, 0u);
+  EXPECT_EQ(a.counters.ops, b.counters.ops);
+  EXPECT_EQ(a.counters.bytes, b.counters.bytes);
+  EXPECT_EQ(a.counters.latency.count(), b.counters.latency.count());
+  EXPECT_EQ(a.counters.latency.mean_ns(), b.counters.latency.mean_ns());
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p99, b.p99);
+  EXPECT_EQ(a.server_reads, b.server_reads);
+  EXPECT_EQ(a.server_read_bytes, b.server_read_bytes);
 }
 
 TEST(Driver, RunMeasurementStopsWorkers) {
