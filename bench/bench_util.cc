@@ -1,5 +1,6 @@
 #include "bench/bench_util.h"
 
+#include <stdexcept>
 #include <string_view>
 
 #include "sim/event_loop.h"
@@ -67,6 +68,67 @@ bool BenchReport::write() {
   }
   std::printf("\nwrote %s\n", path.c_str());
   return true;
+}
+
+testbed::TestbedConfig single_server_config(core::PassMode mode,
+                                            int server_nics,
+                                            int client_count) {
+  testbed::TestbedConfig cfg;
+  cfg.mode = mode;
+  cfg.server_nics = server_nics;
+  cfg.client_count = client_count;
+  return cfg;
+}
+
+void split_server_memory(testbed::TestbedConfig& cfg,
+                         std::uint64_t total_bytes,
+                         std::uint64_t ncache_pool_bytes) {
+  if (cfg.mode == core::PassMode::NCache) {
+    cfg.fs_cache_blocks =
+        std::size_t((total_bytes - ncache_pool_bytes) / fs::kBlockSize);
+    cfg.ncache_budget_bytes = std::size_t(ncache_pool_bytes);
+  } else {
+    cfg.fs_cache_blocks = std::size_t(total_bytes / fs::kBlockSize);
+    cfg.ncache_budget_bytes = 0;
+  }
+}
+
+cluster::ClusterConfig cluster_config(core::PassMode mode, int server_count,
+                                      int client_count,
+                                      cluster::Routing routing) {
+  cluster::ClusterConfig cfg;
+  cfg.mode = mode;
+  cfg.server_count = server_count;
+  cfg.client_count = client_count;
+  cfg.routing = routing;
+  return cfg;
+}
+
+WebBench::WebBench(const testbed::TestbedConfig& cfg)
+    : tb(std::make_unique<testbed::Testbed>(cfg)) {}
+
+void WebBench::start() {
+  tb->start_base();
+  http::KHttpd::Config hc;
+  hc.mode = tb->config().mode;
+  server = std::make_unique<http::KHttpd>(tb->server_node().stack, tb->fs(),
+                                          hc, tb->ncache());
+  server->register_metrics(tb->metrics(), "server0");
+  server->start();
+}
+
+Task<void> WebBench::connect_clients(int conns_per_client,
+                                     bool connection_per_request) {
+  for (int ci = 0; ci < tb->client_count(); ++ci) {
+    for (int k = 0; k < conns_per_client; ++k) {
+      auto c = std::make_unique<http::HttpClient>(
+          tb->client_node(ci).stack, tb->client_ip(ci), tb->server_ip(0));
+      bool ok = co_await c->connect();
+      if (!ok) throw std::runtime_error("http connect failed");
+      c->set_connection_per_request(connection_per_request);
+      clients.push_back(std::move(c));
+    }
+  }
 }
 
 json::Value measured_json(const testbed::Testbed& tb,
@@ -176,6 +238,17 @@ NfsRunResult run_nfs_read_workload(testbed::Testbed& tb, std::uint64_t fh,
   result.storage_cpu = result.snapshot.storage_cpu;
   result.link_util = result.snapshot.server_link_util;
   return result;
+}
+
+NfsRunConfig standard_nfs_run(const BenchOptions& opts, std::uint32_t request,
+                              int streams_per_client, bool hot) {
+  NfsRunConfig rc;
+  rc.request_size = request;
+  rc.streams_per_client = streams_per_client;
+  rc.hot = hot;
+  rc.duration = (opts.smoke ? 60 : 600) * sim::kMillisecond;
+  rc.timeline_samples = opts.smoke ? 2 : 6;
+  return rc;
 }
 
 }  // namespace ncache::bench

@@ -9,8 +9,11 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_testbed.h"
 #include "common/json.h"
 #include "common/logging.h"
+#include "http/client.h"
+#include "http/khttpd.h"
 #include "testbed/testbed.h"
 #include "workload/counters.h"
 #include "workload/nfs_workloads.h"
@@ -33,6 +36,50 @@ inline void print_row_header(const std::vector<std::string>& cols) {
 }
 
 inline void quiet_logs() { log::set_level(log::Level::Error); }
+
+// ---- node-setup presets -----------------------------------------------------
+//
+// Every figure/table binary materializes one of two shapes, both thin
+// facades over topo::presets (src/topo). The presets below hold the knobs
+// the benches agree on so each binary states only what it sweeps.
+
+/// The paper's 4-node single-server shape: `client_count` clients and a
+/// `server_nics`-homed app server on one switch, plus the iSCSI target.
+testbed::TestbedConfig single_server_config(core::PassMode mode,
+                                            int server_nics = 1,
+                                            int client_count = 2);
+
+/// Memory-equal configurations (§3.4 / §4.1): the NCache server splits
+/// `total_bytes` of server memory between a reduced first-level fs cache
+/// and the pinned network-centric pool of `ncache_pool_bytes`; every
+/// other mode keeps the whole budget as page cache. Used by the macro
+/// benches (fig6a working-set sweep, fig7 SPECsfs mix).
+void split_server_memory(testbed::TestbedConfig& cfg,
+                         std::uint64_t total_bytes,
+                         std::uint64_t ncache_pool_bytes);
+
+/// Scale-out shape: `client_count` clients x consistent-hash balancer x
+/// `server_count` pass-through replicas x one iSCSI target.
+cluster::ClusterConfig cluster_config(core::PassMode mode, int server_count,
+                                      int client_count,
+                                      cluster::Routing routing);
+
+/// A kHTTPd-serving testbed plus a pool of HTTP clients, shared by the
+/// web benches (fig6, table2). `start()` brings up the base stack and
+/// attaches the in-kernel web server under the unified "server0" node
+/// label; `connect_clients` opens `conns_per_client` connections from
+/// every client node (SPECweb99-era non-persistent connections when
+/// `connection_per_request`).
+struct WebBench {
+  std::unique_ptr<testbed::Testbed> tb;
+  std::unique_ptr<http::KHttpd> server;
+  std::vector<std::unique_ptr<http::HttpClient>> clients;
+
+  explicit WebBench(const testbed::TestbedConfig& cfg);
+  void start();
+  Task<void> connect_clients(int conns_per_client,
+                             bool connection_per_request = false);
+};
 
 /// Command-line options shared by every bench binary.
 ///
@@ -124,6 +171,11 @@ struct NfsRunResult {
 NfsRunResult run_nfs_read_workload(testbed::Testbed& tb, std::uint64_t fh,
                                    std::uint64_t file_size,
                                    const NfsRunConfig& config);
+
+/// The measured window the NFS figures share: 600 ms with 6 timeline
+/// samples (60 ms / 2 under --smoke).
+NfsRunConfig standard_nfs_run(const BenchOptions& opts, std::uint32_t request,
+                              int streams_per_client, bool hot);
 
 inline const char* mode_name(core::PassMode m) { return core::to_string(m); }
 

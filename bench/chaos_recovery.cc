@@ -120,8 +120,7 @@ Sizes sizes(const BenchOptions& opts) {
 
 json::Value run_burst_loss(const BenchOptions& opts) {
   auto [file_bytes, bucket] = sizes(opts);
-  TestbedConfig cfg;
-  cfg.mode = PassMode::NCache;
+  TestbedConfig cfg = single_server_config(PassMode::NCache);
   Testbed tb(cfg);
   std::uint32_t ino = tb.image().add_file("chaos.bin", file_bytes);
   tb.start_nfs();
@@ -151,8 +150,7 @@ json::Value run_burst_loss(const BenchOptions& opts) {
 
 json::Value run_link_flap(const BenchOptions& opts) {
   auto [file_bytes, bucket] = sizes(opts);
-  TestbedConfig cfg;
-  cfg.mode = PassMode::NCache;
+  TestbedConfig cfg = single_server_config(PassMode::NCache);
   Testbed tb(cfg);
   std::uint32_t ino = tb.image().add_file("chaos.bin", file_bytes);
   tb.start_nfs();
@@ -185,8 +183,7 @@ json::Value run_link_flap(const BenchOptions& opts) {
 
 json::Value run_server_crash(const BenchOptions& opts) {
   auto [file_bytes, bucket] = sizes(opts);
-  TestbedConfig cfg;
-  cfg.mode = PassMode::NCache;
+  TestbedConfig cfg = single_server_config(PassMode::NCache);
   Testbed tb(cfg);
   std::uint32_t ino = tb.image().add_file("chaos.bin", file_bytes);
   tb.start_nfs();
@@ -217,8 +214,7 @@ json::Value run_server_crash(const BenchOptions& opts) {
 
 json::Value run_disk_fault(const BenchOptions& opts) {
   auto [file_bytes, bucket] = sizes(opts);
-  TestbedConfig cfg;
-  cfg.mode = PassMode::Original;
+  TestbedConfig cfg = single_server_config(PassMode::Original);
   Testbed tb(cfg);
   std::uint32_t ino = tb.image().add_file("chaos.bin", file_bytes);
   tb.start_nfs();
@@ -242,8 +238,7 @@ json::Value run_disk_fault(const BenchOptions& opts) {
 
 json::Value run_ncache_degrade(const BenchOptions& opts) {
   auto [file_bytes, bucket] = sizes(opts);
-  TestbedConfig cfg;
-  cfg.mode = PassMode::NCache;
+  TestbedConfig cfg = single_server_config(PassMode::NCache);
   // Pool smaller than one block: every ingest insert fails, so pressure
   // is exact and the trip point deterministic.
   cfg.ncache_budget_bytes = 2048;

@@ -32,10 +32,7 @@ Point run_one(PassMode mode, std::uint32_t request, const BenchOptions& opts) {
   // Scaled 2 GB file; smoke keeps the all-miss property against
   // proportionally smaller caches.
   const std::uint64_t file_bytes = opts.smoke ? 24ull << 20 : 96ull << 20;
-  TestbedConfig cfg;
-  cfg.mode = mode;
-  cfg.server_nics = 1;
-  cfg.client_count = 2;
+  TestbedConfig cfg = single_server_config(mode);
   cfg.volume_blocks = 32 * 1024 + (file_bytes >> 12);  // file + slack
   cfg.inode_count = 4096;
   // Caches far smaller than the file: every request misses.
@@ -50,12 +47,9 @@ Point run_one(PassMode mode, std::uint32_t request, const BenchOptions& opts) {
   std::uint32_t ino = tb.image().add_file("big.bin", file_bytes);
   tb.start_nfs();
 
-  NfsRunConfig rc;
-  rc.request_size = request;
-  rc.streams_per_client = 6;
-  rc.hot = false;  // staggered sequential streams
-  rc.duration = (opts.smoke ? 60 : 600) * sim::kMillisecond;
-  rc.timeline_samples = opts.smoke ? 2 : 6;
+  // Staggered sequential streams (hot=false) over the standard window.
+  NfsRunConfig rc = standard_nfs_run(opts, request, /*streams=*/6,
+                                     /*hot=*/false);
 
   // Short untimed ramp so queues and disk heads settle.
   {

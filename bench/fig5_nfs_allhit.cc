@@ -34,10 +34,7 @@ struct Point {
 
 Point run_one(PassMode mode, int nics, std::uint32_t request,
               const BenchOptions& opts) {
-  TestbedConfig cfg;
-  cfg.mode = mode;
-  cfg.server_nics = nics;
-  cfg.client_count = 2;
+  TestbedConfig cfg = single_server_config(mode, nics);
   cfg.volume_blocks = 16 * 1024;  // 64 MB volume is plenty
   cfg.fs_cache_blocks = 4096;     // 16 MB: hot set resident
   cfg.ncache_budget_bytes = 64u << 20;
@@ -49,12 +46,8 @@ Point run_one(PassMode mode, int nics, std::uint32_t request,
   sim::sync_wait(tb.loop(),
                  warm_sequential(tb, ino, kHotFileBytes, request, 1));
 
-  NfsRunConfig rc;
-  rc.request_size = request;
-  rc.streams_per_client = 10;
-  rc.hot = true;
-  rc.duration = (opts.smoke ? 60 : 600) * sim::kMillisecond;
-  rc.timeline_samples = opts.smoke ? 2 : 6;
+  NfsRunConfig rc = standard_nfs_run(opts, request, /*streams=*/10,
+                                     /*hot=*/true);
   NfsRunResult r = run_nfs_read_workload(tb, ino, kHotFileBytes, rc);
 
   Point p{r.throughput_mb_s, r.server_cpu, r.link_util,

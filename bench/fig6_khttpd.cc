@@ -12,8 +12,6 @@
 // keep bench runtime sane; the cache-capacity crossover is preserved by
 // scaling the server memory budget identically.
 #include "bench/bench_util.h"
-#include "http/client.h"
-#include "http/khttpd.h"
 #include "workload/web_workloads.h"
 
 namespace ncache::bench {
@@ -22,49 +20,6 @@ namespace {
 using core::PassMode;
 using testbed::Testbed;
 using testbed::TestbedConfig;
-
-struct WebBench {
-  std::unique_ptr<Testbed> tb;
-  std::unique_ptr<http::KHttpd> server;
-  std::vector<std::unique_ptr<http::HttpClient>> clients;
-
-  WebBench(PassMode mode, std::uint64_t volume_blocks,
-           std::size_t fs_cache_blocks, std::size_t ncache_budget,
-           int conns_per_client) {
-    TestbedConfig cfg;
-    cfg.mode = mode;
-    cfg.server_nics = 1;
-    cfg.client_count = 2;
-    cfg.volume_blocks = volume_blocks;
-    cfg.inode_count = 16 * 1024;
-    cfg.fs_cache_blocks = fs_cache_blocks;
-    cfg.ncache_budget_bytes = ncache_budget;
-    tb = std::make_unique<Testbed>(cfg);
-    (void)conns_per_client;
-  }
-
-  void start(PassMode mode) {
-    tb->start_base();
-    http::KHttpd::Config hc;
-    hc.mode = mode;
-    server = std::make_unique<http::KHttpd>(tb->server_node().stack, tb->fs(),
-                                            hc, tb->ncache());
-    server->register_metrics(tb->metrics(), "server");
-    server->start();
-  }
-
-  Task<void> connect_clients(int conns_per_client) {
-    for (int ci = 0; ci < tb->client_count(); ++ci) {
-      for (int k = 0; k < conns_per_client; ++k) {
-        auto c = std::make_unique<http::HttpClient>(
-            tb->client_node(ci).stack, tb->client_ip(ci), tb->server_ip(0));
-        bool ok = co_await c->connect();
-        if (!ok) throw std::runtime_error("http connect failed");
-        clients.push_back(std::move(c));
-      }
-    }
-  }
-};
 
 struct Point {
   double mb_s = 0;
@@ -76,25 +31,19 @@ struct Point {
 Point run_specweb(PassMode mode, std::uint64_t working_set_bytes,
                   const BenchOptions& opts) {
   // Server memory scales like the paper's 1:5-scaled testbed: the fs
-  // cache + NCache pool together model ~160 MB of cacheable memory.
-  std::uint64_t volume_blocks = (working_set_bytes >> 12) + 32 * 1024;
-  std::size_t fs_cache_blocks;
-  std::size_t ncache_budget;
-  if (mode == PassMode::NCache) {
-    fs_cache_blocks = 4 * 1024;         // 16 MB first level
-    ncache_budget = 144ull << 20;       // pinned pool (large second level)
-  } else {
-    fs_cache_blocks = 40 * 1024;        // 160 MB page cache
-    ncache_budget = 0;
-  }
+  // cache + NCache pool together model ~160 MB of cacheable memory
+  // (NCache: 16 MB first level + 144 MB pinned pool).
+  TestbedConfig cfg = single_server_config(mode);
+  cfg.volume_blocks = (working_set_bytes >> 12) + 32 * 1024;
+  split_server_memory(cfg, 160ull << 20, 144ull << 20);
 
-  WebBench b(mode, volume_blocks, fs_cache_blocks, ncache_budget, 8);
+  WebBench b(cfg);
   auto files = std::make_shared<workload::WebFileSet>(
       workload::build_web_fileset(b.tb->image(), working_set_bytes));
-  b.start(mode);
-  sim::sync_wait(b.tb->loop(), b.connect_clients(8));
+  b.start();
   // SPECweb99-era access pattern: non-persistent connections.
-  for (auto& c : b.clients) c->set_connection_per_request(true);
+  sim::sync_wait(b.tb->loop(),
+                 b.connect_clients(8, /*connection_per_request=*/true));
 
   auto zipf = std::make_shared<ZipfSampler>(files->paths.size(), 1.0);
 
@@ -131,7 +80,11 @@ Point run_specweb(PassMode mode, std::uint64_t working_set_bytes,
 
 Point run_allhit(PassMode mode, std::uint32_t page_bytes,
                  const BenchOptions& opts) {
-  WebBench b(mode, 16 * 1024, 4 * 1024, 64ull << 20, 8);
+  TestbedConfig cfg = single_server_config(mode);
+  cfg.volume_blocks = 16 * 1024;
+  cfg.fs_cache_blocks = 4 * 1024;
+  cfg.ncache_budget_bytes = 64ull << 20;
+  WebBench b(cfg);
   // A handful of pages of exactly the requested size (5 MB hot set).
   std::vector<std::string> paths;
   int count = int((5u << 20) / page_bytes);
@@ -141,9 +94,9 @@ Point run_allhit(PassMode mode, std::uint32_t page_bytes,
     b.tb->image().add_file(name, page_bytes);
     paths.push_back("/" + name);
   }
-  b.start(mode);
-  sim::sync_wait(b.tb->loop(), b.connect_clients(8));
-  for (auto& c : b.clients) c->set_connection_per_request(true);
+  b.start();
+  sim::sync_wait(b.tb->loop(),
+                 b.connect_clients(8, /*connection_per_request=*/true));
 
   // Warm every page once.
   auto warm_fn = [&]() -> Task<void> {

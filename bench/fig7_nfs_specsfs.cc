@@ -36,26 +36,16 @@ struct Point {
 };
 
 Point run_one(PassMode mode, double data_fraction, const BenchOptions& opts) {
-  TestbedConfig cfg;
-  cfg.mode = mode;
-  cfg.client_count = 2;
+  TestbedConfig cfg = single_server_config(mode);
   // 2 GB fs scaled 1:4 -> 512 MB volume, 10% (51 MB) active set. The
   // server's memory scales like the paper's 896 MB box: the active set
   // fits in memory, so warmed reads are cache hits and the CPU binds.
   // Smoke shrinks set and volume proportionally.
   cfg.volume_blocks = opts.smoke ? 32 * 1024 : 144 * 1024;
   cfg.inode_count = 8192;
-  // Memory-equal configurations: the original/baseline servers use all
-  // 128 MB as page cache; the NCache server splits the same memory
-  // between the (reduced) fs cache and the pinned network-centric pool
-  // (§3.4 / §4.1 double-buffering control).
-  if (mode == PassMode::NCache) {
-    cfg.fs_cache_blocks = 16 * 1024;      // 64 MB first level
-    cfg.ncache_budget_bytes = 64u << 20;  // 64 MB pinned second level
-  } else {
-    cfg.fs_cache_blocks = 32 * 1024;  // 128 MB page cache
-    cfg.ncache_budget_bytes = 0;
-  }
+  // Memory-equal configurations: 128 MB of server memory, NCache keeping
+  // 64 MB as the pinned second level.
+  split_server_memory(cfg, 128ull << 20, 64ull << 20);
   cfg.nfs_daemons = 24;
   cfg.fs_readahead_blocks = 2;
   Testbed tb(cfg);

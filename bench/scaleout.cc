@@ -52,12 +52,8 @@ Sizes sizes(const BenchOptions& opts) {
 std::unique_ptr<ClusterTestbed> make_cluster(
     int servers, Routing routing, const Sizes& sz,
     std::vector<std::pair<std::uint64_t, std::uint64_t>>* files) {
-  ClusterConfig cfg;
-  cfg.mode = PassMode::NCache;
-  cfg.server_count = servers;
-  cfg.client_count = 2 * servers;
-  cfg.routing = routing;
-  auto tb = std::make_unique<ClusterTestbed>(cfg);
+  auto tb = std::make_unique<ClusterTestbed>(
+      cluster_config(PassMode::NCache, servers, 2 * servers, routing));
   for (int i = 0; i < sz.file_count; ++i) {
     auto ino = tb->image().add_file("z" + std::to_string(i), sz.file_bytes);
     files->push_back({ino, sz.file_bytes});
@@ -166,11 +162,8 @@ json::Value run_specsfs(int servers, const Sizes& sz) {
 }
 
 json::Value run_rebalance(const Sizes& sz) {
-  ClusterConfig cfg;
-  cfg.mode = PassMode::NCache;
-  cfg.server_count = sz.rebalance_n;
-  cfg.client_count = 1;
-  ClusterTestbed tb(cfg);
+  ClusterTestbed tb(cluster_config(PassMode::NCache, sz.rebalance_n,
+                                   /*clients=*/1, Routing::FlowHash));
   const std::uint64_t file_bytes = 8 * sz.file_bytes;
   std::uint32_t ino = tb.image().add_file("f.bin", file_bytes);
   tb.start_nfs();

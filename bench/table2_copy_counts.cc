@@ -34,9 +34,7 @@ struct Run {
 };
 
 Run measure_nfs(PassMode mode) {
-  TestbedConfig cfg;
-  cfg.mode = mode;
-  Testbed tb(cfg);
+  Testbed tb(single_server_config(mode));
   std::uint32_t ino = tb.image().add_file("f.bin", 1 << 20);
   tb.start_nfs();
 
@@ -77,16 +75,10 @@ Run measure_nfs(PassMode mode) {
 }
 
 Run measure_khttpd(PassMode mode) {
-  TestbedConfig cfg;
-  cfg.mode = mode;
-  Testbed tb(cfg);
+  WebBench b(single_server_config(mode));
+  Testbed& tb = *b.tb;
   tb.image().add_file("page.html", 16 * 1024);
-  tb.start_base();
-  http::KHttpd::Config hc;
-  hc.mode = mode;
-  http::KHttpd server(tb.server_node().stack, tb.fs(), hc, tb.ncache());
-  server.register_metrics(tb.metrics(), "server");
-  server.start();
+  b.start();
   http::HttpClient client(tb.client_node(0).stack, tb.client_ip(0),
                           tb.server_ip(0));
 
@@ -108,7 +100,7 @@ Run measure_khttpd(PassMode mode) {
 
   auto snap = tb.snapshot(0);
   double body_bytes =
-      double(tb.metrics().counter_value("server", "http.body_bytes"));
+      double(tb.metrics().counter_value("server0", "http.body_bytes"));
   double mb_s = snap.elapsed_s > 0 ? body_bytes / 1e6 / snap.elapsed_s : 0.0;
   return Run{out, measured_json(tb, snap, mb_s)};
 }

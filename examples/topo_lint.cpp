@@ -1,0 +1,56 @@
+// topo_lint — parse and validate a topology text file.
+//
+//   topo_lint graph.topo [...]
+//
+// Exits non-zero on the first file whose parse or validation fails;
+// otherwise prints a one-line summary per file (name, node/edge counts,
+// role breakdown). tools/validate_topology.sh runs this over every
+// *.topo under examples/topologies as a ctest.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "topo/topology.h"
+
+using namespace ncache;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.topo> [...]\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      topo::Topology t = topo::Topology::parse(text.str());
+      t.validate();
+      // parse(describe()) is the format's identity law; lint it too so a
+      // checked-in file can always be regenerated from code.
+      topo::Topology again = topo::Topology::parse(t.describe());
+      if (!(again == t)) {
+        std::fprintf(stderr, "%s: describe/parse round-trip mismatch\n",
+                     argv[i]);
+        return 1;
+      }
+      std::size_t switches = t.of_kind(topo::NodeKind::Switch).size();
+      std::size_t servers = t.of_kind(topo::NodeKind::Server).size();
+      std::size_t clients = t.of_kind(topo::NodeKind::Client).size();
+      std::printf(
+          "%s: ok — topology %s: %zu nodes (%zu switch, %zu server, "
+          "%zu client), %zu links\n",
+          argv[i], t.name.c_str(), t.nodes.size(), switches, servers,
+          clients, t.edges.size());
+    } catch (const topo::TopologyError& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], e.what());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,232 +1,47 @@
 #include "cluster/cluster_testbed.h"
 
-#include "common/logging.h"
-#include "netbuf/slab_cache.h"
-
 namespace ncache::cluster {
 
-using proto::make_ipv4;
-using testbed::make_wired_node;
-using testbed::NicSpec;
-using testbed::set_cables;
-
-proto::Ipv4Addr ClusterTestbed::replica_ip(int i) const {
-  return make_ipv4(10, 0, 0, std::uint8_t(10 + i));
-}
-
-proto::Ipv4Addr ClusterTestbed::client_ip(int i) const {
-  return make_ipv4(10, 0, 0, std::uint8_t(100 + i));
+topo::WorldConfig ClusterTestbed::world_config(const ClusterConfig& config) {
+  topo::WorldConfig wc;
+  wc.mode = config.mode;
+  wc.volume_blocks = config.volume_blocks;
+  wc.inode_count = config.inode_count;
+  wc.fs_cache_blocks = config.fs_cache_blocks;
+  wc.fs_readahead_blocks = config.fs_readahead_blocks;
+  wc.ncache_budget_bytes = config.ncache_budget_bytes;
+  wc.nfs_daemons = config.nfs_daemons;
+  wc.peering = config.peering;
+  wc.push_on_miss = config.push_on_miss;
+  wc.routing = config.routing;
+  wc.heartbeat_interval = config.heartbeat_interval;
+  wc.heartbeat_miss_limit = config.heartbeat_miss_limit;
+  wc.costs = config.costs;
+  return wc;
 }
 
 ClusterTestbed::ClusterTestbed(ClusterConfig config)
-    : config_(std::move(config)) {
-  if (config_.mode == core::PassMode::Baseline) config_.peering = false;
+    : config_(config),
+      world_(topo::presets::cluster(config.server_count, config.client_count),
+             world_config(config)) {}
 
-  book_ = std::make_shared<proto::AddressBook>();
-  switch_ = std::make_unique<proto::EthernetSwitch>(loop_, "switch",
-                                                    config_.costs);
-
-  storage_ = make_wired_node(loop_, config_.costs, book_, *switch_, "storage",
-                             {{0x10, kStorageIp}});
-  lb_node_ = make_wired_node(loop_, config_.costs, book_, *switch_, "lb",
-                             {{0x50, kLbIp}});
-
-  std::vector<Peer> peer_list;
-  std::vector<LoadBalancer::Member> member_list;
-  for (int i = 0; i < config_.server_count; ++i) {
-    peer_list.push_back({std::uint32_t(i), replica_ip(i)});
-    member_list.push_back({std::uint32_t(i), replica_ip(i)});
-  }
-
-  store_ = std::make_unique<blockdev::BlockStore>(
-      loop_, config_.costs, "raid0", config_.volume_blocks);
-  image_ = std::make_unique<fs::FsImageBuilder>(*store_, config_.volume_blocks,
-                                                config_.inode_count);
-  target_ = std::make_unique<iscsi::IscsiTarget>(storage_->stack, *store_);
-
-  for (int i = 0; i < config_.server_count; ++i) {
-    auto r = std::make_unique<Replica>();
-    r->node = make_wired_node(loop_, config_.costs, book_, *switch_,
-                              "server" + std::to_string(i),
-                              {{0x20 + std::uint64_t(i), replica_ip(i)}});
-    r->initiator = std::make_unique<iscsi::IscsiInitiator>(
-        r->node->stack, replica_ip(i), kStorageIp, /*target_id=*/0);
-
-    switch (config_.mode) {
-      case core::PassMode::Original:
-        r->initiator->set_payload_policy(iscsi::PayloadPolicy::Copy);
-        break;
-      case core::PassMode::NCache: {
-        core::NetCentricCache::Config cc;
-        cc.pool_budget_bytes = config_.ncache_budget_bytes;
-        r->ncache = std::make_unique<core::NCacheModule>(r->node->stack, cc);
-        r->ncache->attach_egress();
-        r->ncache->attach_initiator(*r->initiator);
-        break;
-      }
-      case core::PassMode::Baseline:
-        r->initiator->set_payload_policy(iscsi::PayloadPolicy::Junk);
-        break;
-    }
-
-    PeerCache::Config pc;
-    pc.self_id = std::uint32_t(i);
-    pc.target_id = 0;
-    pc.mode = config_.mode;
-    pc.enabled = config_.peering;
-    pc.push_on_miss = config_.push_on_miss;
-    r->peers = std::make_unique<PeerCache>(r->node->stack, pc, peer_list);
-
-    r->block_client = std::make_unique<PeerBlockClient>(
-        *r->initiator, *r->peers, r->ncache.get());
-    r->fs = std::make_unique<fs::SimpleFs>(loop_, *r->block_client,
-                                           config_.fs_cache_blocks,
-                                           config_.fs_readahead_blocks);
-    // Late wiring: the agent serves from / invalidates into these caches,
-    // but the block client had to exist before the fs could.
-    r->peers->attach(r->ncache.get(), r->fs.get());
-    replicas_.push_back(std::move(r));
-  }
-
-  for (int i = 0; i < config_.client_count; ++i) {
-    clients_.push_back(make_wired_node(loop_, config_.costs, book_, *switch_,
-                                       "client" + std::to_string(i),
-                                       {{0x30 + std::uint64_t(i),
-                                         client_ip(i)}}));
-  }
-
-  LoadBalancer::Config lc;
-  lc.routing = config_.routing;
-  lc.heartbeat_interval = config_.heartbeat_interval;
-  lc.heartbeat_miss_limit = config_.heartbeat_miss_limit;
-  lb_ = std::make_unique<LoadBalancer>(lb_node_->stack, lc, member_list);
-
-  metrics_.counter("sim", "clamped_events",
-                   [this] { return loop_.clamped_events(); });
-  metrics_.counter("sim", "netbuf.slab_hits",
-                   [] { return netbuf::SlabCache::process().hits(); });
-  metrics_.counter("sim", "netbuf.slab_misses",
-                   [] { return netbuf::SlabCache::process().misses(); });
-  storage_->register_metrics(metrics_, "storage");
-  store_->register_metrics(metrics_, "storage");
-  lb_node_->register_metrics(metrics_, "lb");
-  lb_->register_metrics(metrics_, "lb");
-  for (int i = 0; i < config_.server_count; ++i) {
-    std::string node = "server" + std::to_string(i);
-    Replica& r = *replicas_[std::size_t(i)];
-    r.node->register_metrics(metrics_, node);
-    r.initiator->register_metrics(metrics_, node);
-    r.fs->cache().register_metrics(metrics_, node);
-    if (r.ncache) r.ncache->register_metrics(metrics_, node);
-    r.peers->register_metrics(metrics_, node);
-    r.block_client->register_metrics(metrics_, node);
-  }
-  for (std::size_t i = 0; i < clients_.size(); ++i) {
-    clients_[i]->register_metrics(metrics_, "client" + std::to_string(i));
-  }
-}
-
-Task<void> ClusterTestbed::bring_up_replica(int i) {
-  Replica& r = *replicas_.at(std::size_t(i));
-  bool ok = co_await r.initiator->login();
-  if (!ok) {
-    throw std::runtime_error("ClusterTestbed: iSCSI login failed (replica " +
-                             std::to_string(i) + ")");
-  }
-  co_await r.fs->mount();
-}
-
-void ClusterTestbed::start_nfs() {
-  if (!image_->finished()) image_->finish();
-  target_->start();
-  for (int i = 0; i < server_count(); ++i) {
-    sim::sync_wait(loop_, bring_up_replica(i));
-  }
-  for (int i = 0; i < server_count(); ++i) {
-    Replica& r = *replicas_[std::size_t(i)];
-    r.peers->start();
-    nfs::NfsServer::Config sc;
-    sc.mode = config_.mode;
-    sc.daemons = config_.nfs_daemons;
-    r.nfs = std::make_unique<nfs::NfsServer>(r.node->stack, *r.fs, sc,
-                                             r.ncache.get());
-    if (config_.peering) {
-      r.nfs->set_write_observer(
-          [this, i](std::uint64_t fh, std::uint64_t offset,
-                    std::uint32_t count) {
-            if (replicas_[std::size_t(i)]->crashed) return;
-            write_coherence_task(i, fh, offset, count).detach(loop_.reaper());
-          });
-    }
-    r.nfs->register_metrics(metrics_, "server" + std::to_string(i));
-    r.nfs->start();
-  }
-  lb_->start();
-  for (int i = 0; i < config_.client_count; ++i) {
-    nfs_clients_.push_back(std::make_unique<nfs::NfsClient>(
-        clients_[std::size_t(i)]->stack, client_ip(i), kLbIp,
-        std::uint16_t(700 + i)));
-    nfs_clients_.back()->register_metrics(metrics_,
-                                          "client" + std::to_string(i));
-  }
-}
-
-Task<void> ClusterTestbed::write_coherence_task(int i, std::uint64_t fh,
-                                                std::uint64_t offset,
-                                                std::uint32_t count) {
-  // Order matters: the dirtied blocks must reach the target before peers
-  // are told to drop their copies, or a peer could re-fetch stale bytes.
-  Replica& r = *replicas_.at(std::size_t(i));
-  std::vector<std::uint32_t> lbns =
-      co_await r.fs->map_range(std::uint32_t(fh), offset, count);
-  if (lbns.empty()) co_return;
-  co_await r.fs->sync();
-  if (r.crashed) co_return;  // died while flushing
-  r.peers->broadcast_invalidate(lbns);
-}
-
-void ClusterTestbed::crash_replica(int i) {
-  Replica& r = *replicas_.at(std::size_t(i));
-  if (r.crashed) return;
-  r.crashed = true;
-  set_cables(*switch_, r.node->stack, false);
-  r.peers->stop();
-  r.initiator->abort_session(/*allow_reconnect=*/false);
-  if (r.nfs) r.nfs->stop();
-  r.fs->cache().discard_all();
-  if (r.ncache) r.ncache->cache().clear();
-  NC_WARN("cluster", "replica %d crashed: caches and sessions lost", i);
-}
-
-void ClusterTestbed::restart_replica(int i) {
-  Replica& r = *replicas_.at(std::size_t(i));
-  if (!r.crashed) return;
-  r.crashed = false;
-  set_cables(*switch_, r.node->stack, true);
-  restart_task(i).detach(loop_.reaper());
-}
-
-Task<void> ClusterTestbed::restart_task(int i) {
-  Replica& r = *replicas_.at(std::size_t(i));
-  bool ok = co_await r.initiator->login();
-  if (!ok) {
-    NC_WARN("cluster", "replica %d: iSCSI re-login failed after restart", i);
-    co_return;
-  }
-  r.peers->start();
-  if (r.nfs) r.nfs->start();
-  NC_WARN("cluster", "replica %d restarted; awaiting re-admission", i);
+std::uint64_t ClusterTestbed::total_target_reads() const {
+  return world_.target().stats().reads;
 }
 
 std::uint64_t ClusterTestbed::total_peer_hits() const {
   std::uint64_t total = 0;
-  for (const auto& r : replicas_) total += r->peers->stats().peer_hits;
+  for (int i = 0; i < world_.server_count(); ++i) {
+    total += world_.server(i).peers->stats().peer_hits;
+  }
   return total;
 }
 
 std::uint64_t ClusterTestbed::total_peer_misses() const {
   std::uint64_t total = 0;
-  for (const auto& r : replicas_) total += r->peers->stats().peer_misses;
+  for (int i = 0; i < world_.server_count(); ++i) {
+    total += world_.server(i).peers->stats().peer_misses;
+  }
   return total;
 }
 

@@ -4,13 +4,12 @@
 //   clients ---+
 //   clients ---[switch]--- lb ---(NAT'd flows)--- replica0..N-1 --- storage
 //
-// Each replica is a full single-server stack (initiator, SimpleFS +
-// buffer cache, optional NCache module, NFS server) plus a PeerCache
-// agent; the block path is interposed by a PeerBlockClient so regular-
-// data misses consult the hash-designated owner replica before the
-// target. The balancer owns the client-facing IP and is the failure
-// detector; replica crash/restart mirrors Testbed's semantics (cables
-// first, then sessions and caches).
+// ClusterTestbed is a thin preset over the topology API: it builds
+// topo::presets::cluster and materializes it with topo::World, which
+// attaches the full per-replica stack (initiator, SimpleFS + buffer
+// cache, optional NCache module, PeerCache + PeerBlockClient, NFS server)
+// and the balancer. Same-seed behavior is byte-identical with the
+// historical hand-wired constructor (tests/topology_parity_test).
 //
 // Write coherence: every replica's NFS server gets a write observer that
 // flushes the fs and broadcasts INVALIDATE for the dirtied LBNs — peers
@@ -21,16 +20,8 @@
 
 #include <memory>
 
-#include "blockdev/block_store.h"
-#include "cluster/load_balancer.h"
-#include "cluster/peer_cache.h"
-#include "common/metrics.h"
-#include "fs/image_builder.h"
-#include "iscsi/target.h"
-#include "nfs/client.h"
-#include "nfs/server.h"
-#include "proto/switch.h"
-#include "testbed/wiring.h"
+#include "topo/instantiator.h"
+#include "topo/presets.h"
 
 namespace ncache::cluster {
 
@@ -65,91 +56,63 @@ class ClusterTestbed {
   explicit ClusterTestbed(ClusterConfig config);
 
   /// Phase 1 (before start): populate the shared storage volume.
-  fs::FsImageBuilder& image() { return *image_; }
+  fs::FsImageBuilder& image() { return world_.image(); }
 
   /// Phase 2: target up, every replica logs in and mounts, peering agents
   /// and NFS servers start, balancer starts, clients appear.
-  void start_nfs();
+  void start_nfs() { world_.start_nfs(); }
 
-  sim::EventLoop& loop() noexcept { return loop_; }
+  sim::EventLoop& loop() noexcept { return world_.loop(); }
   const ClusterConfig& config() const noexcept { return config_; }
 
-  int server_count() const noexcept { return int(replicas_.size()); }
-  int client_count() const noexcept { return int(clients_.size()); }
+  /// The materialized world behind this preset.
+  topo::World& world() noexcept { return world_; }
 
-  blockdev::BlockStore& store() noexcept { return *store_; }
-  iscsi::IscsiTarget& target() noexcept { return *target_; }
-  LoadBalancer& lb() noexcept { return *lb_; }
-  fs::SimpleFs& fs(int i) { return *replicas_.at(i)->fs; }
-  nfs::NfsServer& nfs_server(int i) { return *replicas_.at(i)->nfs; }
-  PeerCache& peers(int i) { return *replicas_.at(i)->peers; }
-  core::NCacheModule* ncache(int i) { return replicas_.at(i)->ncache.get(); }
+  int server_count() const noexcept { return world_.server_count(); }
+  int client_count() const noexcept { return world_.client_count(); }
+
+  blockdev::BlockStore& store() noexcept { return world_.store(); }
+  iscsi::IscsiTarget& target() noexcept { return world_.target(); }
+  LoadBalancer& lb() noexcept { return *world_.lb(); }
+  fs::SimpleFs& fs(int i) { return *world_.server(i).fs; }
+  nfs::NfsServer& nfs_server(int i) { return *world_.server(i).nfs; }
+  PeerCache& peers(int i) { return *world_.server(i).peers; }
+  core::NCacheModule* ncache(int i) { return world_.server(i).ncache.get(); }
   iscsi::IscsiInitiator& initiator(int i) {
-    return *replicas_.at(i)->initiator;
+    return *world_.server(i).initiator;
   }
-  nfs::NfsClient& nfs_client(int i) { return *nfs_clients_.at(i); }
-  proto::EthernetSwitch& ether_switch() noexcept { return *switch_; }
+  nfs::NfsClient& nfs_client(int i) { return world_.nfs_client(i); }
+  proto::EthernetSwitch& ether_switch() noexcept { return world_.ether(); }
 
-  proto::Ipv4Addr replica_ip(int i) const;
-  proto::Ipv4Addr client_ip(int i) const;
-  static constexpr proto::Ipv4Addr kStorageIp = proto::make_ipv4(10, 0, 0, 1);
-  static constexpr proto::Ipv4Addr kLbIp = proto::make_ipv4(10, 0, 0, 5);
+  proto::Ipv4Addr replica_ip(int i) const { return world_.server_ip(i); }
+  proto::Ipv4Addr client_ip(int i) const { return world_.client_ip(i); }
+  static constexpr proto::Ipv4Addr kStorageIp = topo::World::kStorageIp;
+  static constexpr proto::Ipv4Addr kLbIp = topo::World::kLbIp;
 
-  MetricRegistry& metrics() noexcept { return metrics_; }
-  const MetricRegistry& metrics() const noexcept { return metrics_; }
-  void reset_stats() { metrics_.reset_all(); }
+  MetricRegistry& metrics() noexcept { return world_.metrics(); }
+  const MetricRegistry& metrics() const noexcept { return world_.metrics(); }
+  void reset_stats() { world_.reset_stats(); }
 
   // ---- fault scenarios -------------------------------------------------------
-  /// Power-fails replica `i` (Testbed::crash_server semantics: cables
-  /// drop first, then sessions/daemons/caches). The balancer detects the
-  /// silence via heartbeats and rebalances the ring.
-  void crash_replica(int i);
+  /// Power-fails replica `i` (cables drop first, then sessions, daemons
+  /// and caches). The balancer detects the silence via heartbeats and
+  /// rebalances the ring.
+  void crash_replica(int i) { world_.crash_server(i); }
   /// Brings replica `i` back asynchronously; the balancer re-admits it on
   /// its first heartbeat ack.
-  void restart_replica(int i);
-  bool replica_crashed(int i) const { return replicas_.at(i)->crashed; }
+  void restart_replica(int i) { world_.restart_server(i); }
+  bool replica_crashed(int i) const { return world_.server_crashed(i); }
 
   /// Cluster-wide aggregates for benches/tests.
-  std::uint64_t total_target_reads() const { return target_->stats().reads; }
+  std::uint64_t total_target_reads() const;
   std::uint64_t total_peer_hits() const;
   std::uint64_t total_peer_misses() const;
 
  private:
-  struct Replica {
-    std::unique_ptr<testbed::Node> node;
-    std::unique_ptr<iscsi::IscsiInitiator> initiator;
-    std::unique_ptr<core::NCacheModule> ncache;
-    std::unique_ptr<PeerCache> peers;
-    std::unique_ptr<PeerBlockClient> block_client;
-    std::unique_ptr<fs::SimpleFs> fs;
-    std::unique_ptr<nfs::NfsServer> nfs;
-    bool crashed = false;
-  };
-
-  Task<void> bring_up_replica(int i);
-  Task<void> restart_task(int i);
-  Task<void> write_coherence_task(int i, std::uint64_t fh,
-                                  std::uint64_t offset, std::uint32_t count);
+  static topo::WorldConfig world_config(const ClusterConfig& config);
 
   ClusterConfig config_;
-  sim::EventLoop loop_;
-  std::shared_ptr<proto::AddressBook> book_;
-  std::unique_ptr<proto::EthernetSwitch> switch_;
-
-  std::unique_ptr<testbed::Node> storage_;
-  std::unique_ptr<testbed::Node> lb_node_;
-  std::vector<std::unique_ptr<Replica>> replicas_;
-  std::vector<std::unique_ptr<testbed::Node>> clients_;
-
-  std::unique_ptr<blockdev::BlockStore> store_;
-  std::unique_ptr<fs::FsImageBuilder> image_;
-  std::unique_ptr<iscsi::IscsiTarget> target_;
-  std::unique_ptr<LoadBalancer> lb_;
-  std::vector<std::unique_ptr<nfs::NfsClient>> nfs_clients_;
-
-  /// Declared last: sampling callbacks hold raw pointers into the members
-  /// above, so the registry must never outlive them.
-  MetricRegistry metrics_;
+  topo::World world_;
 };
 
 }  // namespace ncache::cluster

@@ -1,189 +1,54 @@
 #include "testbed/testbed.h"
 
-#include "common/logging.h"
-#include "netbuf/slab_cache.h"
-
 namespace ncache::testbed {
 
-using proto::make_ipv4;
-
-proto::Ipv4Addr Testbed::server_ip(int nic) const {
-  return make_ipv4(10, 0, 0, std::uint8_t(10 + nic));
+topo::WorldConfig Testbed::world_config(const TestbedConfig& config) {
+  topo::WorldConfig wc;
+  wc.mode = config.mode;
+  wc.volume_blocks = config.volume_blocks;
+  wc.inode_count = config.inode_count;
+  wc.fs_cache_blocks = config.fs_cache_blocks;
+  wc.fs_readahead_blocks = config.fs_readahead_blocks;
+  wc.ncache_budget_bytes = config.ncache_budget_bytes;
+  wc.wire_format_target = config.wire_format_target;
+  wc.wire_target_budget_bytes = config.wire_target_budget_bytes;
+  wc.nfs_daemons = config.nfs_daemons;
+  wc.costs = config.costs;
+  return wc;
 }
 
-proto::Ipv4Addr Testbed::client_ip(int i) const {
-  return make_ipv4(10, 0, 0, std::uint8_t(100 + i));
-}
-
-Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
-  book_ = std::make_shared<proto::AddressBook>();
-  switch_ = std::make_unique<proto::EthernetSwitch>(loop_, "switch",
-                                                    config_.costs);
-
-  storage_ = make_wired_node(loop_, config_.costs, book_, *switch_, "storage",
-                             {{0x10, kStorageIp}});
-
-  std::vector<NicSpec> server_nics;
-  for (int n = 0; n < config_.server_nics; ++n) {
-    server_nics.push_back({0x20 + std::uint64_t(n), server_ip(n)});
-  }
-  server_ = make_wired_node(loop_, config_.costs, book_, *switch_, "server",
-                            server_nics);
-
-  for (int i = 0; i < config_.client_count; ++i) {
-    clients_.push_back(make_wired_node(loop_, config_.costs, book_, *switch_,
-                                       "client" + std::to_string(i),
-                                       {{0x30 + std::uint64_t(i), client_ip(i)}}));
-  }
-
-  store_ = std::make_unique<blockdev::BlockStore>(
-      loop_, config_.costs, "raid0", config_.volume_blocks);
-  image_ = std::make_unique<fs::FsImageBuilder>(*store_, config_.volume_blocks,
-                                                config_.inode_count);
-  target_ = std::make_unique<iscsi::IscsiTarget>(storage_->stack, *store_);
-  if (config_.wire_format_target) {
-    core::NetCentricCache::Config wc;
-    wc.pool_budget_bytes = config_.wire_target_budget_bytes;
-    wire_target_ =
-        std::make_unique<core::WireFormatTarget>(storage_->stack, wc);
-    wire_target_->attach(*target_);
-  }
-  initiator_ = std::make_unique<iscsi::IscsiInitiator>(
-      server_->stack, server_ip(0), kStorageIp, /*target_id=*/0);
-
-  switch (config_.mode) {
-    case core::PassMode::Original:
-      initiator_->set_payload_policy(iscsi::PayloadPolicy::Copy);
-      break;
-    case core::PassMode::NCache: {
-      core::NetCentricCache::Config cc;
-      cc.pool_budget_bytes = config_.ncache_budget_bytes;
-      ncache_ = std::make_unique<core::NCacheModule>(server_->stack, cc);
-      ncache_->attach_egress();
-      ncache_->attach_initiator(*initiator_);
-      break;
-    }
-    case core::PassMode::Baseline:
-      initiator_->set_payload_policy(iscsi::PayloadPolicy::Junk);
-      break;
-  }
-
-  fs_ = std::make_unique<fs::SimpleFs>(loop_, *initiator_,
-                                       config_.fs_cache_blocks,
-                                       config_.fs_readahead_blocks);
-
-  // Register every subsystem built above; the NFS server joins in
-  // start_nfs(), kHTTPd (attached externally) via its own
-  // register_metrics. Registration order fixes JSON export order.
-  metrics_.counter("sim", "clamped_events",
-                   [this] { return loop_.clamped_events(); });
-  metrics_.counter("sim", "netbuf.slab_hits",
-                   [] { return netbuf::SlabCache::process().hits(); });
-  metrics_.counter("sim", "netbuf.slab_misses",
-                   [] { return netbuf::SlabCache::process().misses(); });
-  server_->register_metrics(metrics_, "server");
-  storage_->register_metrics(metrics_, "storage");
-  for (std::size_t i = 0; i < clients_.size(); ++i) {
-    clients_[i]->register_metrics(metrics_, "client" + std::to_string(i));
-  }
-  store_->register_metrics(metrics_, "storage");
-  fs_->cache().register_metrics(metrics_, "server");
-  if (ncache_) ncache_->register_metrics(metrics_, "server");
-  if (wire_target_) {
-    wire_target_->cache().register_metrics(metrics_, "storage", "wire.cache");
-  }
-}
-
-void Testbed::start_base() {
-  if (!image_->finished()) image_->finish();
-  target_->start();
-  auto up_fn = [this]() -> Task<void> {
-    bool ok = co_await initiator_->login();
-    if (!ok) throw std::runtime_error("Testbed: iSCSI login failed");
-    co_await fs_->mount();
-  };
-  sim::sync_wait(loop_, up_fn());
-}
-
-void Testbed::start_nfs() {
-  start_base();
-  nfs::NfsServer::Config sc;
-  sc.mode = config_.mode;
-  sc.daemons = config_.nfs_daemons;
-  nfs_server_ = std::make_unique<nfs::NfsServer>(
-      server_->stack, *fs_, sc, ncache_.get());
-  nfs_server_->register_metrics(metrics_, "server");
-  nfs_server_->start();
-
-  for (int i = 0; i < config_.client_count; ++i) {
-    nfs_clients_.push_back(std::make_unique<nfs::NfsClient>(
-        clients_[std::size_t(i)]->stack, client_ip(i),
-        server_ip(i % config_.server_nics), std::uint16_t(700 + i)));
-    nfs_clients_.back()->register_metrics(metrics_,
-                                          "client" + std::to_string(i));
-  }
-}
-
-void Testbed::crash_server() {
-  if (server_crashed_) return;
-  server_crashed_ = true;
-  // Cables first: frames already queued by the dying daemons must vanish
-  // on the wire instead of racing the restarted instance.
-  set_cables(*switch_, server_->stack, false);
-  initiator_->abort_session(/*allow_reconnect=*/false);
-  if (nfs_server_) nfs_server_->stop();
-  fs_->cache().discard_all();
-  if (ncache_) ncache_->cache().clear();
-  NC_WARN("testbed", "server crashed: caches and sessions lost");
-}
-
-void Testbed::restart_server() {
-  if (!server_crashed_) return;
-  server_crashed_ = false;
-  set_cables(*switch_, server_->stack, true);
-  restart_task().detach(loop_.reaper());
-}
-
-Task<void> Testbed::restart_task() {
-  bool ok = co_await initiator_->login();
-  if (!ok) {
-    NC_WARN("testbed", "iSCSI re-login failed after server restart");
-    co_return;
-  }
-  if (nfs_server_) nfs_server_->start();
-  NC_WARN("testbed", "server restarted: session re-established");
-}
-
-void Testbed::reset_stats() {
-  // Every subsystem registered a reset hook alongside its metrics; one
-  // fan-out restarts all measurement windows coherently.
-  metrics_.reset_all();
-}
+Testbed::Testbed(TestbedConfig config)
+    : config_(config),
+      world_(topo::presets::single_server(config.server_nics,
+                                          config.client_count),
+             world_config(config)) {}
 
 Testbed::Snapshot Testbed::snapshot(sim::Time window_start) const {
   // A typed view over the registry: every field below is the registry
   // value under the named (node, metric) label.
+  const MetricRegistry& metrics = world_.metrics();
   Snapshot s;
-  s.elapsed_s = double(loop_.now() - window_start) / 1e9;
-  s.server_cpu = metrics_.gauge_value("server", "cpu.utilization");
-  s.storage_cpu = metrics_.gauge_value("storage", "cpu.utilization");
-  for (std::size_t i = 0; i < clients_.size(); ++i) {
+  s.elapsed_s = double(world_.loop().now() - window_start) / 1e9;
+  s.server_cpu = metrics.gauge_value("server0", "cpu.utilization");
+  s.storage_cpu = metrics.gauge_value("storage0", "cpu.utilization");
+  for (int i = 0; i < world_.client_count(); ++i) {
     s.client_cpu_max =
         std::max(s.client_cpu_max,
-                 metrics_.gauge_value("client" + std::to_string(i),
-                                      "cpu.utilization"));
+                 metrics.gauge_value("client" + std::to_string(i),
+                                     "cpu.utilization"));
   }
-  for (std::size_t n = 0; n < server_->stack.nic_count(); ++n) {
+  const auto& server = world_.server(0);
+  for (std::size_t n = 0; n < server.node->stack.nic_count(); ++n) {
     s.server_link_util = std::max(
         s.server_link_util,
-        metrics_.gauge_value("server",
-                             "nic" + std::to_string(n) + ".tx.utilization"));
+        metrics.gauge_value("server0",
+                            "nic" + std::to_string(n) + ".tx.utilization"));
   }
-  s.server_data_copies = metrics_.counter_value("server", "copy.data_ops");
+  s.server_data_copies = metrics.counter_value("server0", "copy.data_ops");
   s.server_logical_copies =
-      metrics_.counter_value("server", "copy.logical_ops");
-  s.nfs_requests = metrics_.counter_value("server", "nfs.requests");
-  s.read_bytes_served = metrics_.counter_value("server", "nfs.read_bytes");
+      metrics.counter_value("server0", "copy.logical_ops");
+  s.nfs_requests = metrics.counter_value("server0", "nfs.requests");
+  s.read_bytes_served = metrics.counter_value("server0", "nfs.read_bytes");
   return s;
 }
 

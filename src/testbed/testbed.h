@@ -1,4 +1,4 @@
-// The paper's 4-node testbed (§5.2), assembled:
+// The paper's 4-node testbed (§5.2) as a preset over the topology API:
 //
 //   storage (P-III 1 GHz, 4-disk RAID-0, iSCSI target)
 //      |
@@ -9,28 +9,25 @@
 //    iSCSI initiator, SimpleFS + buffer cache,
 //    optional NCache module; 1 or 2 NICs)
 //
-// The testbed owns all nodes and wiring; tests, examples and every bench
-// build on it. Metric snapshots expose per-node CPU utilization, link
-// utilization, copy counts and cache stats — everything the paper's
-// figures report.
+// Testbed is a thin facade: it builds topo::presets::single_server and
+// materializes it with topo::World — same-seed behavior is byte-identical
+// with the historical hand-wired constructor (tests/topology_parity_test
+// proves it). Tests, examples and every bench build on it; arbitrary
+// graphs (multi-rack, lossy WAN trunks) go through topo::World directly.
+//
+// Metric node ids follow the unified topology scheme: "server0",
+// "storage0", "client0".. — identical JSON keys across single-server and
+// cluster worlds.
 #pragma once
 
 #include <memory>
 
-#include "blockdev/block_store.h"
-#include "common/metrics.h"
-#include "core/ncache_module.h"
-#include "core/wire_target.h"
-#include "fs/image_builder.h"
-#include "fs/simple_fs.h"
-#include "iscsi/initiator.h"
-#include "iscsi/target.h"
-#include "nfs/client.h"
-#include "nfs/server.h"
-#include "proto/switch.h"
-#include "testbed/wiring.h"
+#include "topo/instantiator.h"
+#include "topo/presets.h"
 
 namespace ncache::testbed {
+
+using Node = topo::Node;
 
 struct TestbedConfig {
   core::PassMode mode = core::PassMode::Original;
@@ -63,63 +60,70 @@ class Testbed {
   explicit Testbed(TestbedConfig config);
 
   /// Phase 1 (before start): populate the storage volume directly.
-  fs::FsImageBuilder& image() { return *image_; }
+  fs::FsImageBuilder& image() { return world_.image(); }
 
   /// Phase 2: brings the system up — iSCSI login, fs mount, NFS server
   /// start. Runs the event loop until ready.
-  void start_nfs();
+  void start_nfs() { world_.start_nfs(); }
   /// Same bring-up without an NFS server (kHTTPd attaches separately).
-  void start_base();
+  void start_base() { world_.start_base(); }
 
-  sim::EventLoop& loop() noexcept { return loop_; }
+  sim::EventLoop& loop() noexcept { return world_.loop(); }
   const TestbedConfig& config() const noexcept { return config_; }
   const sim::CostModel& costs() const noexcept { return config_.costs; }
 
-  Node& storage_node() noexcept { return *storage_; }
-  Node& server_node() noexcept { return *server_; }
-  Node& client_node(int i) { return *clients_.at(i); }
-  int client_count() const noexcept { return int(clients_.size()); }
+  /// The materialized world behind this preset — fault plans, per-node
+  /// cables and arbitrary-graph features live here.
+  topo::World& world() noexcept { return world_; }
 
-  blockdev::BlockStore& store() noexcept { return *store_; }
-  iscsi::IscsiTarget& target() noexcept { return *target_; }
-  iscsi::IscsiInitiator& initiator() noexcept { return *initiator_; }
-  fs::SimpleFs& fs() noexcept { return *fs_; }
-  nfs::NfsServer& nfs_server() { return *nfs_server_; }
-  core::NCacheModule* ncache() noexcept { return ncache_.get(); }
-  core::WireFormatTarget* wire_target() noexcept { return wire_target_.get(); }
-  proto::EthernetSwitch& ether_switch() noexcept { return *switch_; }
+  Node& storage_node() noexcept { return world_.storage_node(); }
+  Node& server_node() noexcept { return *world_.server(0).node; }
+  Node& client_node(int i) { return world_.client_node(i); }
+  int client_count() const noexcept { return world_.client_count(); }
+
+  blockdev::BlockStore& store() noexcept { return world_.store(); }
+  iscsi::IscsiTarget& target() noexcept { return world_.target(); }
+  iscsi::IscsiInitiator& initiator() noexcept {
+    return *world_.server(0).initiator;
+  }
+  fs::SimpleFs& fs() noexcept { return *world_.server(0).fs; }
+  nfs::NfsServer& nfs_server() { return *world_.server(0).nfs; }
+  core::NCacheModule* ncache() noexcept {
+    return world_.server(0).ncache.get();
+  }
+  core::WireFormatTarget* wire_target() noexcept {
+    return world_.wire_target();
+  }
+  proto::EthernetSwitch& ether_switch() noexcept { return world_.ether(); }
 
   /// Per-client NFS client handle. Client i binds to server NIC i %
   /// server_nics, spreading load across both NICs in the 2-NIC setup.
-  nfs::NfsClient& nfs_client(int i) { return *nfs_clients_.at(i); }
+  nfs::NfsClient& nfs_client(int i) { return world_.nfs_client(i); }
 
-  proto::Ipv4Addr server_ip(int nic = 0) const;
-  proto::Ipv4Addr client_ip(int i) const;
-  static constexpr proto::Ipv4Addr kStorageIp = proto::make_ipv4(10, 0, 0, 1);
+  proto::Ipv4Addr server_ip(int nic = 0) const {
+    return world_.server_ip(0, nic);
+  }
+  proto::Ipv4Addr client_ip(int i) const { return world_.client_ip(i); }
+  static constexpr proto::Ipv4Addr kStorageIp = topo::World::kStorageIp;
 
   /// The testbed-wide metric registry. Every node/subsystem registers at
   /// construction (the NFS server at start_nfs); externally-attached
   /// servers (kHTTPd) register themselves via KHttpd::register_metrics.
-  MetricRegistry& metrics() noexcept { return metrics_; }
-  const MetricRegistry& metrics() const noexcept { return metrics_; }
+  MetricRegistry& metrics() noexcept { return world_.metrics(); }
+  const MetricRegistry& metrics() const noexcept { return world_.metrics(); }
 
   /// Resets every utilization window / counter for a measurement interval
   /// (fans out through the registry's reset hooks).
-  void reset_stats();
+  void reset_stats() { world_.reset_stats(); }
 
   // ---- fault scenarios -------------------------------------------------------
-  /// Power-fails the pass-through server. Its cables drop first (frames
-  /// already emitted by the dying daemons vanish on the wire instead of
-  /// racing the restarted instance), then the iSCSI session is torn down
-  /// without reconnect, the NFS daemons stop, and every server-side cache
-  /// loses its contents — dirty blocks included. Metric registrations and
-  /// counters survive the crash.
-  void crash_server();
-  /// Brings a crashed server back asynchronously: cables up, iSCSI
-  /// re-login (parked commands replay), NFS daemons relaunched. Safe to
-  /// call from fault-plan callbacks while the loop is running.
-  void restart_server();
-  bool server_crashed() const noexcept { return server_crashed_; }
+  /// Power-fails the pass-through server (cables first, then sessions,
+  /// daemons and caches — see topo::World::crash_server).
+  void crash_server() { world_.crash_server(0); }
+  /// Brings a crashed server back asynchronously. Safe to call from
+  /// fault-plan callbacks while the loop is running.
+  void restart_server() { world_.restart_server(0); }
+  bool server_crashed() const noexcept { return world_.server_crashed(0); }
 
   /// Aggregate measurement snapshot over the window since reset_stats().
   /// A thin typed view over the registry — every field is readable by
@@ -139,31 +143,10 @@ class Testbed {
   Snapshot snapshot(sim::Time window_start) const;
 
  private:
-  Task<void> restart_task();
+  static topo::WorldConfig world_config(const TestbedConfig& config);
 
   TestbedConfig config_;
-  sim::EventLoop loop_;
-  std::shared_ptr<proto::AddressBook> book_;
-  std::unique_ptr<proto::EthernetSwitch> switch_;
-
-  std::unique_ptr<Node> storage_;
-  std::unique_ptr<Node> server_;
-  std::vector<std::unique_ptr<Node>> clients_;
-
-  std::unique_ptr<blockdev::BlockStore> store_;
-  std::unique_ptr<fs::FsImageBuilder> image_;
-  std::unique_ptr<iscsi::IscsiTarget> target_;
-  std::unique_ptr<iscsi::IscsiInitiator> initiator_;
-  std::unique_ptr<core::NCacheModule> ncache_;
-  std::unique_ptr<core::WireFormatTarget> wire_target_;
-  std::unique_ptr<fs::SimpleFs> fs_;
-  std::unique_ptr<nfs::NfsServer> nfs_server_;
-  std::vector<std::unique_ptr<nfs::NfsClient>> nfs_clients_;
-  bool server_crashed_ = false;
-
-  /// Declared last: sampling callbacks hold raw pointers into the members
-  /// above, so the registry must never outlive them.
-  MetricRegistry metrics_;
+  topo::World world_;
 };
 
 }  // namespace ncache::testbed

@@ -1,67 +1,15 @@
-// Node construction and cabling shared by every testbed flavour.
-//
-// Testbed (one pass-through server) and cluster::ClusterTestbed (N
-// replicas behind a load balancer) build the same kind of simulated host
-// and wire it into the same kind of switch; the helpers here keep the
-// switch/link setup — and the cables-first crash discipline — in one
-// place instead of duplicated per topology.
+// Compatibility aliases: node construction and cabling moved to
+// src/topo/node.h when the topology Instantiator became the one place
+// that builds simulated hosts. Include "topo/node.h" in new code.
 #pragma once
 
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "netbuf/copy_engine.h"
-#include "proto/stack.h"
-#include "proto/switch.h"
-#include "sim/cpu_model.h"
-
-namespace ncache {
-class MetricRegistry;
-}
+#include "topo/node.h"
 
 namespace ncache::testbed {
 
-/// One simulated host: CPU + copy engine + network stack.
-struct Node {
-  Node(sim::EventLoop& loop, const sim::CostModel& costs,
-       std::shared_ptr<proto::AddressBook> book, std::string name)
-      : cpu(loop, name + ".cpu"),
-        copier(cpu, costs),
-        stack(loop, cpu, copier, costs, name, std::move(book)) {}
-
-  sim::CpuModel cpu;
-  netbuf::CopyEngine copier;
-  proto::NetworkStack stack;
-
-  /// Registers this host's CPU, copy engine and stack/NIC metrics under
-  /// one node label.
-  void register_metrics(MetricRegistry& registry, const std::string& node) {
-    cpu.register_metrics(registry, node);
-    copier.register_metrics(registry, node);
-    stack.register_metrics(registry, node);
-  }
-};
-
-/// One NIC of a node under construction.
-struct NicSpec {
-  proto::MacAddr mac = 0;
-  proto::Ipv4Addr ip = 0;
-};
-
-/// Builds a Node, adds its NICs and cables each into `ether`.
-std::unique_ptr<Node> make_wired_node(sim::EventLoop& loop,
-                                      const sim::CostModel& costs,
-                                      std::shared_ptr<proto::AddressBook> book,
-                                      proto::EthernetSwitch& ether,
-                                      std::string name,
-                                      const std::vector<NicSpec>& nics);
-
-/// Admin-up/-down both directions of every cable behind `stack`'s NICs.
-/// Crash paths drop cables before tearing the node down so frames already
-/// queued by dying daemons vanish on the wire instead of racing the
-/// restarted instance.
-void set_cables(proto::EthernetSwitch& ether, proto::NetworkStack& stack,
-                bool up);
+using topo::make_wired_node;
+using topo::NicSpec;
+using topo::Node;
+using topo::set_cables;
 
 }  // namespace ncache::testbed

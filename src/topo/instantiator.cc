@@ -1,0 +1,423 @@
+#include "topo/instantiator.h"
+
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "netbuf/slab_cache.h"
+
+namespace ncache::topo {
+
+using proto::make_ipv4;
+
+World::World(Topology topo, WorldConfig config)
+    : topo_(std::move(topo)), config_(std::move(config)) {
+  topo_.validate();
+  if (config_.mode == core::PassMode::Baseline) config_.peering = false;
+
+  book_ = std::make_shared<proto::AddressBook>();
+  faults_ = std::make_unique<fault::FaultInjector>(loop_, config_.fault_seed);
+
+  build_fabric();
+  build_hosts();
+  build_roles();
+  register_all_metrics();
+}
+
+World::Host& World::host(std::string_view id) {
+  auto it = hosts_.find(std::string(id));
+  if (it == hosts_.end()) {
+    throw std::out_of_range("World: no host node '" + std::string(id) + "'");
+  }
+  return it->second;
+}
+
+Node& World::node(std::string_view id) { return *host(id).node; }
+
+proto::EthernetSwitch& World::ether(std::string_view id) {
+  auto it = switches_.find(std::string(id));
+  if (it == switches_.end()) {
+    throw std::out_of_range("World: no switch '" + std::string(id) + "'");
+  }
+  return *it->second;
+}
+
+sim::DuplexLink& World::cable(std::string_view host_id, std::size_t nic) {
+  Host& h = host(host_id);
+  proto::EthernetSwitch* sw = h.nic_switch.at(nic);
+  return sw->cable_of(h.node->stack.nic(nic));
+}
+
+sim::DuplexLink& World::trunk(std::string_view a, std::string_view b) {
+  return ether(a).trunk_of(ether(b));
+}
+
+proto::Ipv4Addr World::server_ip(int i, int nic) const {
+  const ServerStack& s = *servers_.at(std::size_t(i));
+  return s.node->stack.nic(std::size_t(nic)).ip();
+}
+
+proto::Ipv4Addr World::client_ip(int i) const {
+  return clients_.at(std::size_t(i))->node->stack.nic(0).ip();
+}
+
+void World::build_fabric() {
+  for (const NodeSpec& n : topo_.nodes) {
+    if (n.kind != NodeKind::Switch) continue;
+    auto sw =
+        std::make_unique<proto::EthernetSwitch>(loop_, n.id, config_.costs);
+    switch_order_.push_back(sw.get());
+    switches_.emplace(n.id, std::move(sw));
+  }
+  for (const EdgeSpec& e : topo_.edges) {
+    auto a = switches_.find(e.a);
+    auto b = switches_.find(e.b);
+    if (a == switches_.end() || b == switches_.end()) continue;  // host edge
+    std::uint64_t bw = e.link.bandwidth_bps.value_or(
+        config_.costs.link_bandwidth_bps);
+    sim::Duration lat =
+        e.link.latency_ns.value_or(config_.costs.link_latency_ns);
+    a->second->connect_switch(*b->second, bw, lat);
+  }
+}
+
+void World::build_hosts() {
+  // Address assignment follows the classic testbed conventions (see
+  // instantiator.h); `slot` runs over server NICs in declaration order so
+  // the single 2-NIC server and the N 1-NIC replicas both land on the
+  // historical 10.0.0.10+ / 0x20+ sequence.
+  std::uint64_t server_slot = 0;
+  std::uint64_t client_index = 0;
+
+  for (const NodeSpec& n : topo_.nodes) {
+    if (n.kind == NodeKind::Switch) continue;
+
+    // This host's NICs: its switch edges, in edge-declaration order.
+    std::vector<NicSpec> specs;
+    std::vector<proto::EthernetSwitch*> nic_switch;
+    for (const EdgeSpec* e : topo_.edges_of(n.id)) {
+      const std::string& sw_id = e->a == n.id ? e->b : e->a;
+      auto sw = switches_.find(sw_id);
+      if (sw == switches_.end()) continue;  // validated: cannot happen
+      NicSpec spec;
+      spec.ether = sw->second.get();
+      if (e->link.bandwidth_bps) spec.bandwidth_bps = *e->link.bandwidth_bps;
+      spec.latency_ns = e->link.latency_ns;
+      switch (n.kind) {
+        case NodeKind::Target:
+          spec.mac = 0x10;
+          spec.ip = kStorageIp;
+          break;
+        case NodeKind::Balancer:
+          spec.mac = 0x50;
+          spec.ip = kLbIp;
+          break;
+        case NodeKind::Server:
+          spec.mac = 0x20 + server_slot;
+          spec.ip = make_ipv4(10, 0, 0, std::uint8_t(10 + server_slot));
+          ++server_slot;
+          break;
+        case NodeKind::Client:
+          spec.mac = 0x30 + client_index;
+          spec.ip = make_ipv4(10, 0, 0, std::uint8_t(100 + client_index));
+          break;
+        case NodeKind::Switch:
+          break;
+      }
+      nic_switch.push_back(sw->second.get());
+      specs.push_back(spec);
+    }
+    if (n.kind == NodeKind::Client) ++client_index;
+
+    Host h;
+    h.spec = &n;
+    h.node = make_wired_node(loop_, config_.costs, book_,
+                             *switch_order_.front(), n.id, specs);
+    h.nic_switch = std::move(nic_switch);
+    auto [it, _] = hosts_.emplace(n.id, std::move(h));
+    host_order_.push_back(&it->second);
+
+    switch (n.kind) {
+      case NodeKind::Target: storage_ = &it->second; break;
+      case NodeKind::Balancer: lb_host_ = &it->second; break;
+      case NodeKind::Server: {
+        auto s = std::make_unique<ServerStack>();
+        s->id = n.id;
+        s->node = it->second.node.get();
+        server_ips_.push_back(s->node->stack.nic(0).ip());
+        servers_.push_back(std::move(s));
+        break;
+      }
+      case NodeKind::Client: clients_.push_back(&it->second); break;
+      case NodeKind::Switch: break;
+    }
+  }
+
+  // Steady-state loss: a deterministic Bernoulli drop hook per lossy link
+  // direction, seeded from (fault_seed, ordinal) so adding a lossy edge
+  // never perturbs earlier ones.
+  std::uint64_t ordinal = 0;
+  for (const EdgeSpec& e : topo_.edges) {
+    if (e.link.loss == 0.0) {
+      continue;
+    }
+    bool a_switch = switches_.count(e.a) != 0;
+    bool b_switch = switches_.count(e.b) != 0;
+    sim::DuplexLink* wire = nullptr;
+    if (a_switch && b_switch) {
+      wire = &trunk(e.a, e.b);
+    } else {
+      const std::string& host_id = a_switch ? e.b : e.a;
+      // Which NIC of the host this edge is: count prior switch edges.
+      std::size_t nic = 0;
+      for (const EdgeSpec* he : topo_.edges_of(host_id)) {
+        if (he == &e) break;
+        ++nic;
+      }
+      wire = &cable(host_id, nic);
+    }
+    double p = e.link.loss;
+    for (sim::Link* dir : {&wire->a_to_b, &wire->b_to_a}) {
+      loss_rngs_.push_back(
+          std::make_unique<Pcg32>(config_.fault_seed, ordinal++));
+      Pcg32* rng = loss_rngs_.back().get();
+      dir->set_drop_hook([rng, p](std::size_t) { return rng->uniform() < p; });
+    }
+  }
+}
+
+void World::build_roles() {
+  // Target-side stack.
+  store_ = std::make_unique<blockdev::BlockStore>(
+      loop_, config_.costs, "raid0", config_.volume_blocks);
+  image_ = std::make_unique<fs::FsImageBuilder>(*store_, config_.volume_blocks,
+                                                config_.inode_count);
+  target_ = std::make_unique<iscsi::IscsiTarget>(storage_->node->stack,
+                                                 *store_);
+  if (config_.wire_format_target) {
+    core::NetCentricCache::Config wc;
+    wc.pool_budget_bytes = config_.wire_target_budget_bytes;
+    wire_target_ = std::make_unique<core::WireFormatTarget>(
+        storage_->node->stack, wc);
+    wire_target_->attach(*target_);
+  }
+
+  // Balancer (and the peer list every PeerCache shares).
+  std::vector<cluster::Peer> peer_list;
+  if (lb_host_) {
+    std::vector<cluster::LoadBalancer::Member> member_list;
+    for (std::size_t i = 0; i < server_ips_.size(); ++i) {
+      peer_list.push_back({std::uint32_t(i), server_ips_[i]});
+      member_list.push_back({std::uint32_t(i), server_ips_[i]});
+    }
+    cluster::LoadBalancer::Config lc;
+    lc.routing = config_.routing;
+    lc.heartbeat_interval = config_.heartbeat_interval;
+    lc.heartbeat_miss_limit = config_.heartbeat_miss_limit;
+    lb_ = std::make_unique<cluster::LoadBalancer>(lb_host_->node->stack, lc,
+                                                  std::move(member_list));
+  }
+
+  // Server stacks.
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    ServerStack& s = *servers_[i];
+    s.initiator = std::make_unique<iscsi::IscsiInitiator>(
+        s.node->stack, server_ips_[i], kStorageIp, /*target_id=*/0);
+
+    switch (config_.mode) {
+      case core::PassMode::Original:
+        s.initiator->set_payload_policy(iscsi::PayloadPolicy::Copy);
+        break;
+      case core::PassMode::NCache: {
+        core::NetCentricCache::Config cc;
+        cc.pool_budget_bytes = config_.ncache_budget_bytes;
+        s.ncache = std::make_unique<core::NCacheModule>(s.node->stack, cc);
+        s.ncache->attach_egress();
+        s.ncache->attach_initiator(*s.initiator);
+        break;
+      }
+      case core::PassMode::Baseline:
+        s.initiator->set_payload_policy(iscsi::PayloadPolicy::Junk);
+        break;
+    }
+
+    if (lb_host_) {
+      cluster::PeerCache::Config pc;
+      pc.self_id = std::uint32_t(i);
+      pc.target_id = 0;
+      pc.mode = config_.mode;
+      pc.enabled = config_.peering;
+      pc.push_on_miss = config_.push_on_miss;
+      s.peers = std::make_unique<cluster::PeerCache>(s.node->stack, pc,
+                                                     peer_list);
+      s.block_client = std::make_unique<cluster::PeerBlockClient>(
+          *s.initiator, *s.peers, s.ncache.get());
+      s.fs = std::make_unique<fs::SimpleFs>(loop_, *s.block_client,
+                                            config_.fs_cache_blocks,
+                                            config_.fs_readahead_blocks);
+      // Late wiring: the agent serves from / invalidates into these
+      // caches, but the block client had to exist before the fs could.
+      s.peers->attach(s.ncache.get(), s.fs.get());
+    } else {
+      s.fs = std::make_unique<fs::SimpleFs>(loop_, *s.initiator,
+                                            config_.fs_cache_blocks,
+                                            config_.fs_readahead_blocks);
+    }
+  }
+}
+
+void World::register_all_metrics() {
+  // Canonical registration order: sim counters, then every node's
+  // subsystems in topology declaration order, then the fault injector.
+  // NFS servers/clients join in start_nfs(). Node ids are the metric
+  // labels, so JSON keys are identical across world shapes.
+  metrics_.counter("sim", "clamped_events",
+                   [this] { return loop_.clamped_events(); });
+  metrics_.counter("sim", "netbuf.slab_hits",
+                   [] { return netbuf::SlabCache::process().hits(); });
+  metrics_.counter("sim", "netbuf.slab_misses",
+                   [] { return netbuf::SlabCache::process().misses(); });
+
+  std::size_t server_i = 0;
+  for (Host* h : host_order_) {
+    const std::string& id = h->spec->id;
+    h->node->register_metrics(metrics_, id);
+    switch (h->spec->kind) {
+      case NodeKind::Target:
+        store_->register_metrics(metrics_, id);
+        if (wire_target_) {
+          wire_target_->cache().register_metrics(metrics_, id, "wire.cache");
+        }
+        break;
+      case NodeKind::Balancer:
+        lb_->register_metrics(metrics_, id);
+        break;
+      case NodeKind::Server: {
+        ServerStack& s = *servers_[server_i++];
+        s.initiator->register_metrics(metrics_, id);
+        s.fs->cache().register_metrics(metrics_, id);
+        if (s.ncache) s.ncache->register_metrics(metrics_, id);
+        if (s.peers) s.peers->register_metrics(metrics_, id);
+        if (s.block_client) s.block_client->register_metrics(metrics_, id);
+        break;
+      }
+      case NodeKind::Client:
+      case NodeKind::Switch:
+        break;
+    }
+  }
+  faults_->register_metrics(metrics_, "faults");
+}
+
+Task<void> World::bring_up_server(int i) {
+  ServerStack& s = *servers_.at(std::size_t(i));
+  bool ok = co_await s.initiator->login();
+  if (!ok) {
+    throw std::runtime_error("World: iSCSI login failed (" + s.id + ")");
+  }
+  co_await s.fs->mount();
+}
+
+void World::start_base() {
+  if (started_) return;
+  started_ = true;
+  if (!image_->finished()) image_->finish();
+  target_->start();
+  for (int i = 0; i < server_count(); ++i) {
+    sim::sync_wait(loop_, bring_up_server(i));
+  }
+}
+
+void World::start_nfs() {
+  start_base();
+  for (int i = 0; i < server_count(); ++i) {
+    ServerStack& s = *servers_[std::size_t(i)];
+    if (s.peers) s.peers->start();
+    nfs::NfsServer::Config sc;
+    sc.mode = config_.mode;
+    sc.daemons = config_.nfs_daemons;
+    s.nfs = std::make_unique<nfs::NfsServer>(s.node->stack, *s.fs, sc,
+                                             s.ncache.get());
+    if (s.peers && config_.peering) {
+      s.nfs->set_write_observer(
+          [this, i](std::uint64_t fh, std::uint64_t offset,
+                    std::uint32_t count) {
+            if (servers_[std::size_t(i)]->crashed) return;
+            write_coherence_task(i, fh, offset, count).detach(loop_.reaper());
+          });
+    }
+    s.nfs->register_metrics(metrics_, s.id);
+    s.nfs->start();
+  }
+  if (lb_) lb_->start();
+
+  // Clients bind to the VIP when a balancer fronts the servers; otherwise
+  // round-robin over server0's NICs (the paper's 2-NIC experiment).
+  std::size_t s0_nics = servers_.front()->node->stack.nic_count();
+  for (int i = 0; i < client_count(); ++i) {
+    proto::Ipv4Addr dst =
+        lb_ ? kLbIp : server_ip(0, int(std::size_t(i) % s0_nics));
+    nfs_clients_.push_back(std::make_unique<nfs::NfsClient>(
+        clients_[std::size_t(i)]->node->stack, client_ip(i), dst,
+        std::uint16_t(700 + i)));
+    nfs_clients_.back()->register_metrics(metrics_, clients_[std::size_t(i)]->spec->id);
+  }
+}
+
+Task<void> World::write_coherence_task(int i, std::uint64_t fh,
+                                       std::uint64_t offset,
+                                       std::uint32_t count) {
+  // Order matters: the dirtied blocks must reach the target before peers
+  // are told to drop their copies, or a peer could re-fetch stale bytes.
+  ServerStack& s = *servers_.at(std::size_t(i));
+  std::vector<std::uint32_t> lbns =
+      co_await s.fs->map_range(std::uint32_t(fh), offset, count);
+  if (lbns.empty()) co_return;
+  co_await s.fs->sync();
+  if (s.crashed) co_return;  // died while flushing
+  s.peers->broadcast_invalidate(lbns);
+}
+
+void World::set_host_cables(Host& h, bool up) {
+  for (std::size_t n = 0; n < h.node->stack.nic_count(); ++n) {
+    auto& cable = h.nic_switch[n]->cable_of(h.node->stack.nic(n));
+    cable.a_to_b.set_admin_up(up);
+    cable.b_to_a.set_admin_up(up);
+  }
+}
+
+void World::crash_server(int i) {
+  ServerStack& s = *servers_.at(std::size_t(i));
+  if (s.crashed) return;
+  s.crashed = true;
+  // Cables first: frames already queued by the dying daemons must vanish
+  // on the wire instead of racing the restarted instance.
+  set_host_cables(host(s.id), false);
+  if (s.peers) s.peers->stop();
+  s.initiator->abort_session(/*allow_reconnect=*/false);
+  if (s.nfs) s.nfs->stop();
+  s.fs->cache().discard_all();
+  if (s.ncache) s.ncache->cache().clear();
+  NC_WARN("topo", "%s crashed: caches and sessions lost", s.id.c_str());
+}
+
+void World::restart_server(int i) {
+  ServerStack& s = *servers_.at(std::size_t(i));
+  if (!s.crashed) return;
+  s.crashed = false;
+  set_host_cables(host(s.id), true);
+  restart_task(i).detach(loop_.reaper());
+}
+
+Task<void> World::restart_task(int i) {
+  ServerStack& s = *servers_.at(std::size_t(i));
+  bool ok = co_await s.initiator->login();
+  if (!ok) {
+    NC_WARN("topo", "%s: iSCSI re-login failed after restart", s.id.c_str());
+    co_return;
+  }
+  if (s.peers) s.peers->start();
+  if (s.nfs) s.nfs->start();
+  NC_WARN("topo", "%s restarted: session re-established", s.id.c_str());
+}
+
+}  // namespace ncache::topo

@@ -1,6 +1,6 @@
-#include "testbed/wiring.h"
+#include "topo/node.h"
 
-namespace ncache::testbed {
+namespace ncache::topo {
 
 std::unique_ptr<Node> make_wired_node(sim::EventLoop& loop,
                                       const sim::CostModel& costs,
@@ -12,7 +12,12 @@ std::unique_ptr<Node> make_wired_node(sim::EventLoop& loop,
                                      std::move(name));
   for (const auto& spec : nics) {
     node->stack.add_nic(spec.mac, spec.ip);
-    ether.connect(node->stack.nic(node->stack.nic_count() - 1));
+    proto::EthernetSwitch& sw = spec.ether ? *spec.ether : ether;
+    std::uint64_t bw =
+        spec.bandwidth_bps ? spec.bandwidth_bps : costs.link_bandwidth_bps;
+    sim::Duration lat =
+        spec.latency_ns ? *spec.latency_ns : costs.link_latency_ns;
+    sw.connect(node->stack.nic(node->stack.nic_count() - 1), bw, lat);
   }
   return node;
 }
@@ -26,4 +31,4 @@ void set_cables(proto::EthernetSwitch& ether, proto::NetworkStack& stack,
   }
 }
 
-}  // namespace ncache::testbed
+}  // namespace ncache::topo

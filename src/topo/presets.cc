@@ -1,0 +1,59 @@
+#include "topo/presets.h"
+
+namespace ncache::topo::presets {
+
+Topology single_server(int server_nics, int client_count) {
+  TopologyBuilder b("single_server");
+  b.ether_switch("switch0").target("storage0").server("server0");
+  for (int i = 0; i < client_count; ++i) {
+    b.client("client" + std::to_string(i));
+  }
+  b.link("storage0", "switch0");
+  for (int n = 0; n < server_nics; ++n) {
+    b.link("server0", "switch0");
+  }
+  for (int i = 0; i < client_count; ++i) {
+    b.link("client" + std::to_string(i), "switch0");
+  }
+  return b.build();
+}
+
+Topology cluster(int server_count, int client_count) {
+  TopologyBuilder b("cluster");
+  b.ether_switch("switch0").target("storage0").balancer("lb0");
+  for (int i = 0; i < server_count; ++i) {
+    b.server("server" + std::to_string(i));
+  }
+  for (int i = 0; i < client_count; ++i) {
+    b.client("client" + std::to_string(i));
+  }
+  b.link("storage0", "switch0").link("lb0", "switch0");
+  for (int i = 0; i < server_count; ++i) {
+    b.link("server" + std::to_string(i), "switch0");
+  }
+  for (int i = 0; i < client_count; ++i) {
+    b.link("client" + std::to_string(i), "switch0");
+  }
+  return b.build();
+}
+
+Topology two_racks_wan(int client_count, std::uint64_t wan_bandwidth_bps,
+                       sim::Duration wan_latency_ns, double wan_loss) {
+  TopologyBuilder b("two_racks_wan");
+  b.ether_switch("rack_a").ether_switch("rack_b");
+  b.target("storage0").server("server0");
+  for (int i = 0; i < client_count; ++i) {
+    b.client("client" + std::to_string(i));
+  }
+  b.link("rack_a", "rack_b")
+      .bandwidth(wan_bandwidth_bps)
+      .latency(wan_latency_ns)
+      .loss(wan_loss);
+  b.link("storage0", "rack_b").link("server0", "rack_b");
+  for (int i = 0; i < client_count; ++i) {
+    b.link("client" + std::to_string(i), "rack_a");
+  }
+  return b.build();
+}
+
+}  // namespace ncache::topo::presets

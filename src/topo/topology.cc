@@ -1,0 +1,439 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ncache::topo {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw TopologyError(what); }
+
+[[noreturn]] void fail_at(std::size_t line, const std::string& what) {
+  fail("line " + std::to_string(line) + ": " + what);
+}
+
+bool valid_id(std::string_view id) {
+  if (id.empty() || id.size() > 64) return false;
+  if (!std::isalpha(static_cast<unsigned char>(id.front()))) return false;
+  return std::all_of(id.begin(), id.end(), [](char c) {
+    unsigned char u = static_cast<unsigned char>(c);
+    return std::isalnum(u) || c == '_' || c == '-' || c == '.';
+  });
+}
+
+std::vector<std::string_view> split_ws(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+/// "200Mbps" -> 200e6, "1Gbps" -> 1e9, "1500000" -> 1500000.
+std::uint64_t parse_bandwidth(std::string_view v, std::size_t line) {
+  std::uint64_t scale = 1;
+  if (v.size() > 4 && v.substr(v.size() - 4) == "Gbps") {
+    scale = 1'000'000'000;
+    v.remove_suffix(4);
+  } else if (v.size() > 4 && v.substr(v.size() - 4) == "Mbps") {
+    scale = 1'000'000;
+    v.remove_suffix(4);
+  } else if (v.size() > 4 && v.substr(v.size() - 4) == "Kbps") {
+    scale = 1'000;
+    v.remove_suffix(4);
+  } else if (v.size() > 3 && v.substr(v.size() - 3) == "bps") {
+    v.remove_suffix(3);
+  }
+  std::uint64_t n = 0;
+  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), n);
+  if (ec != std::errc{} || p != v.data() + v.size()) {
+    fail_at(line, "bad bandwidth value '" + std::string(v) + "'");
+  }
+  return n * scale;
+}
+
+/// "5ms" -> 5e6 ns, "10us" -> 1e4 ns, "500ns"/"500" -> 500 ns.
+sim::Duration parse_latency(std::string_view v, std::size_t line) {
+  std::int64_t scale = 1;
+  if (v.size() > 2 && v.substr(v.size() - 2) == "ms") {
+    scale = 1'000'000;
+    v.remove_suffix(2);
+  } else if (v.size() > 2 && v.substr(v.size() - 2) == "us") {
+    scale = 1'000;
+    v.remove_suffix(2);
+  } else if (v.size() > 2 && v.substr(v.size() - 2) == "ns") {
+    v.remove_suffix(2);
+  } else if (v.size() > 1 && v.back() == 's' &&
+             std::isdigit(static_cast<unsigned char>(v[v.size() - 2]))) {
+    scale = 1'000'000'000;
+    v.remove_suffix(1);
+  }
+  std::int64_t n = 0;
+  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), n);
+  if (ec != std::errc{} || p != v.data() + v.size() || n < 0) {
+    fail_at(line, "bad latency value '" + std::string(v) + "'");
+  }
+  return static_cast<sim::Duration>(n * scale);
+}
+
+double parse_loss(std::string_view v, std::size_t line) {
+  std::string s(v);
+  std::size_t used = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(s, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  if (used != s.size() || p < 0.0 || p >= 1.0) {
+    fail_at(line, "bad loss value '" + s + "' (want [0,1))");
+  }
+  return p;
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;  // default precision round-trips through parse for our ranges
+  return os.str();
+}
+
+void append_profile(std::ostringstream& os, const LinkProfile& link) {
+  if (link.bandwidth_bps) os << " bandwidth=" << *link.bandwidth_bps;
+  if (link.latency_ns) os << " latency=" << *link.latency_ns;
+  if (link.loss != 0.0) os << " loss=" << format_double(link.loss);
+}
+
+}  // namespace
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::Client: return "client";
+    case NodeKind::Switch: return "switch";
+    case NodeKind::Balancer: return "balancer";
+    case NodeKind::Server: return "server";
+    case NodeKind::Target: return "target";
+  }
+  return "?";
+}
+
+NodeKind parse_kind(std::string_view token) {
+  if (token == "client") return NodeKind::Client;
+  if (token == "switch") return NodeKind::Switch;
+  if (token == "balancer") return NodeKind::Balancer;
+  if (token == "server") return NodeKind::Server;
+  if (token == "target") return NodeKind::Target;
+  fail("unknown node kind '" + std::string(token) +
+       "' (want client|switch|balancer|server|target)");
+}
+
+const NodeSpec* Topology::find(std::string_view id) const {
+  for (const NodeSpec& n : nodes) {
+    if (n.id == id) return &n;
+  }
+  return nullptr;
+}
+
+std::vector<const NodeSpec*> Topology::of_kind(NodeKind kind) const {
+  std::vector<const NodeSpec*> out;
+  for (const NodeSpec& n : nodes) {
+    if (n.kind == kind) out.push_back(&n);
+  }
+  return out;
+}
+
+std::vector<const EdgeSpec*> Topology::edges_of(std::string_view id) const {
+  std::vector<const EdgeSpec*> out;
+  for (const EdgeSpec& e : edges) {
+    if (e.a == id || e.b == id) out.push_back(&e);
+  }
+  return out;
+}
+
+void Topology::validate() const {
+  std::unordered_map<std::string_view, const NodeSpec*> by_id;
+  for (const NodeSpec& n : nodes) {
+    if (!valid_id(n.id)) fail("invalid node id '" + n.id + "'");
+    if (!by_id.emplace(n.id, &n).second) {
+      fail("duplicate node id '" + n.id + "'");
+    }
+  }
+
+  std::size_t switches = 0, targets = 0, balancers = 0, servers = 0;
+  for (const NodeSpec& n : nodes) {
+    switch (n.kind) {
+      case NodeKind::Switch: ++switches; break;
+      case NodeKind::Target: ++targets; break;
+      case NodeKind::Balancer: ++balancers; break;
+      case NodeKind::Server: ++servers; break;
+      case NodeKind::Client: break;
+    }
+  }
+  if (switches == 0) fail("topology needs at least one switch");
+  if (servers == 0) fail("topology needs at least one server");
+  if (targets != 1) {
+    fail("topology needs exactly one target (storage), have " +
+         std::to_string(targets));
+  }
+  if (balancers > 1) {
+    fail("at most one balancer supported, have " + std::to_string(balancers));
+  }
+
+  // Hosts (non-switches) must cable into switches; count their NICs.
+  std::unordered_map<std::string_view, std::size_t> nic_count;
+  std::unordered_map<std::string_view, std::vector<std::string_view>> trunks;
+  std::unordered_set<std::string> seen_edges;
+  for (const EdgeSpec& e : edges) {
+    auto ia = by_id.find(e.a);
+    auto ib = by_id.find(e.b);
+    if (ia == by_id.end()) fail("link references unknown node '" + e.a + "'");
+    if (ib == by_id.end()) fail("link references unknown node '" + e.b + "'");
+    if (e.a == e.b) fail("self-link on node '" + e.a + "'");
+    if (e.link.bandwidth_bps && *e.link.bandwidth_bps == 0) {
+      fail("zero-bandwidth link " + e.a + " <-> " + e.b);
+    }
+    if (e.link.loss < 0.0 || e.link.loss >= 1.0) {
+      fail("loss out of [0,1) on link " + e.a + " <-> " + e.b);
+    }
+    bool a_switch = ia->second->kind == NodeKind::Switch;
+    bool b_switch = ib->second->kind == NodeKind::Switch;
+    if (!a_switch && !b_switch) {
+      fail("link " + e.a + " <-> " + e.b +
+           " connects two hosts; hosts cable into switches");
+    }
+    if (a_switch && b_switch) {
+      // Parallel trunks are not supported; a host repeated against the
+      // same switch is fine — that is just a multi-NIC server (Fig 5b).
+      std::string key = e.a < e.b ? e.a + "|" + e.b : e.b + "|" + e.a;
+      if (!seen_edges.insert(key).second) {
+        fail("duplicate trunk " + e.a + " <-> " + e.b);
+      }
+      trunks[e.a].push_back(e.b);
+      trunks[e.b].push_back(e.a);
+    } else {
+      const NodeSpec* host = a_switch ? ib->second : ia->second;
+      ++nic_count[host->id];
+    }
+  }
+
+  for (const NodeSpec& n : nodes) {
+    if (n.kind == NodeKind::Switch) continue;
+    std::size_t nics = nic_count[n.id];
+    if (nics == 0) fail("node '" + n.id + "' has no link to any switch");
+    if (nics > 1 && n.kind != NodeKind::Server) {
+      fail("node '" + n.id + "' is multi-homed; only servers may be");
+    }
+  }
+
+  // The switch graph (trunks) must be connected and acyclic: MAC
+  // announcements and floods would otherwise loop forever.
+  if (switches > 1) {
+    std::unordered_set<std::string_view> visited;
+    std::function<void(std::string_view, std::string_view)> dfs =
+        [&](std::string_view at, std::string_view from) {
+          if (!visited.insert(at).second) {
+            fail("switch trunk cycle through '" + std::string(at) + "'");
+          }
+          bool skipped_parent = false;
+          for (std::string_view next : trunks[at]) {
+            if (next == from && !skipped_parent) {
+              skipped_parent = true;  // one edge back to the parent is fine
+              continue;
+            }
+            dfs(next, at);
+          }
+        };
+    std::string_view root;
+    for (const NodeSpec& n : nodes) {
+      if (n.kind == NodeKind::Switch) { root = n.id; break; }
+    }
+    dfs(root, root);
+    if (visited.size() != switches) {
+      fail("switch fabric is disconnected (" +
+           std::to_string(visited.size()) + " of " +
+           std::to_string(switches) + " switches reachable)");
+    }
+  }
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << "topology " << name << "\n";
+  for (const NodeSpec& n : nodes) {
+    os << "node " << n.id << " " << to_string(n.kind);
+    for (const auto& [k, v] : n.attrs) os << " " << k << "=" << v;
+    os << "\n";
+  }
+  for (const EdgeSpec& e : edges) {
+    os << "link " << e.a << " " << e.b;
+    append_profile(os, e.link);
+    os << "\n";
+  }
+  return os.str();
+}
+
+Topology Topology::parse(std::string_view text) {
+  Topology topo;
+  bool named = false;
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++lineno;
+    if (auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    auto tokens = split_ws(line);
+    if (tokens.empty()) continue;
+
+    std::string_view directive = tokens[0];
+    if (directive == "topology") {
+      if (tokens.size() != 2) fail_at(lineno, "usage: topology <name>");
+      if (named) fail_at(lineno, "duplicate 'topology' directive");
+      if (!valid_id(tokens[1])) {
+        fail_at(lineno, "invalid topology name '" + std::string(tokens[1]) +
+                            "'");
+      }
+      topo.name = std::string(tokens[1]);
+      named = true;
+    } else if (directive == "node") {
+      if (tokens.size() < 3) {
+        fail_at(lineno, "usage: node <id> <kind> [key=value...]");
+      }
+      NodeSpec n;
+      n.id = std::string(tokens[1]);
+      if (!valid_id(n.id)) fail_at(lineno, "invalid node id '" + n.id + "'");
+      try {
+        n.kind = parse_kind(tokens[2]);
+      } catch (const TopologyError& e) {
+        fail_at(lineno, e.what());
+      }
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        auto eq = tokens[i].find('=');
+        if (eq == std::string_view::npos || eq == 0) {
+          fail_at(lineno, "bad attribute '" + std::string(tokens[i]) +
+                              "' (want key=value)");
+        }
+        n.attrs[std::string(tokens[i].substr(0, eq))] =
+            std::string(tokens[i].substr(eq + 1));
+      }
+      topo.nodes.push_back(std::move(n));
+    } else if (directive == "link") {
+      if (tokens.size() < 3) {
+        fail_at(lineno,
+                "usage: link <a> <b> [bandwidth=|latency=|loss=]");
+      }
+      EdgeSpec e;
+      e.a = std::string(tokens[1]);
+      e.b = std::string(tokens[2]);
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        auto eq = tokens[i].find('=');
+        if (eq == std::string_view::npos || eq == 0) {
+          fail_at(lineno, "bad link option '" + std::string(tokens[i]) + "'");
+        }
+        std::string_view key = tokens[i].substr(0, eq);
+        std::string_view value = tokens[i].substr(eq + 1);
+        if (key == "bandwidth") {
+          e.link.bandwidth_bps = parse_bandwidth(value, lineno);
+        } else if (key == "latency") {
+          e.link.latency_ns = parse_latency(value, lineno);
+        } else if (key == "loss") {
+          e.link.loss = parse_loss(value, lineno);
+        } else {
+          fail_at(lineno, "unknown link option '" + std::string(key) + "'");
+        }
+      }
+      topo.edges.push_back(std::move(e));
+    } else {
+      fail_at(lineno, "unknown directive '" + std::string(directive) +
+                          "' (want topology|node|link)");
+    }
+  }
+  return topo;
+}
+
+TopologyBuilder::TopologyBuilder(std::string name) {
+  topo_.name = std::move(name);
+}
+
+TopologyBuilder& TopologyBuilder::add_node(std::string id, NodeKind kind) {
+  NodeSpec n;
+  n.id = std::move(id);
+  n.kind = kind;
+  topo_.nodes.push_back(std::move(n));
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::client(std::string id) {
+  return add_node(std::move(id), NodeKind::Client);
+}
+TopologyBuilder& TopologyBuilder::ether_switch(std::string id) {
+  return add_node(std::move(id), NodeKind::Switch);
+}
+TopologyBuilder& TopologyBuilder::balancer(std::string id) {
+  return add_node(std::move(id), NodeKind::Balancer);
+}
+TopologyBuilder& TopologyBuilder::server(std::string id) {
+  return add_node(std::move(id), NodeKind::Server);
+}
+TopologyBuilder& TopologyBuilder::target(std::string id) {
+  return add_node(std::move(id), NodeKind::Target);
+}
+
+TopologyBuilder& TopologyBuilder::attr(std::string key, std::string value) {
+  if (topo_.nodes.empty()) fail("attr() before any node");
+  topo_.nodes.back().attrs[std::move(key)] = std::move(value);
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::link(std::string a, std::string b) {
+  EdgeSpec e;
+  e.a = std::move(a);
+  e.b = std::move(b);
+  topo_.edges.push_back(std::move(e));
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::bandwidth(std::uint64_t bps) {
+  if (topo_.edges.empty()) fail("bandwidth() before any link");
+  topo_.edges.back().link.bandwidth_bps = bps;
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::latency(sim::Duration ns) {
+  if (topo_.edges.empty()) fail("latency() before any link");
+  topo_.edges.back().link.latency_ns = ns;
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::loss(double probability) {
+  if (topo_.edges.empty()) fail("loss() before any link");
+  topo_.edges.back().link.loss = probability;
+  return *this;
+}
+
+Topology TopologyBuilder::build() const {
+  topo_.validate();
+  return topo_;
+}
+
+}  // namespace ncache::topo

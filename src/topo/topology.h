@@ -1,0 +1,152 @@
+// Declarative topology description — the one graph every testbed, bench
+// and fault plan is built from.
+//
+// A Topology is a validated graph of typed nodes (client, switch,
+// balancer, server, target) and edges (cables / trunks with optional
+// bandwidth / latency / loss profiles). Three equivalent ways to make
+// one:
+//
+//   * TopologyBuilder — fluent API:
+//       auto t = TopologyBuilder("two_racks")
+//                    .ether_switch("rack_a").ether_switch("rack_b")
+//                    .client("client0").server("server0").target("storage0")
+//                    .link("client0", "rack_a")
+//                    .link("rack_a", "rack_b")
+//                        .bandwidth(200'000'000).latency(5'000'000)
+//                    .link("server0", "rack_b").link("storage0", "rack_b")
+//                    .build();
+//   * Topology::parse — the text format (one directive per line):
+//       topology two_racks
+//       node rack_a switch
+//       node client0 client
+//       link rack_a rack_b bandwidth=200Mbps latency=5ms loss=0.001
+//   * presets.h — the canonical paper shapes (single server, M×N×1
+//     cluster, two racks over a WAN trunk).
+//
+// `describe()` emits the canonical text form; parse(describe()) is the
+// identity (round-trip determinism is tested). Validation catches the
+// malformed graphs early: duplicate ids, dangling edges, zero-bandwidth
+// links, hosts wired to hosts, trunk cycles, unsupported role counts.
+//
+// Node ids double as metric-registry node labels, so JSON output keys are
+// identical across single-server and cluster worlds ("server0",
+// "client3", "storage0", "lb0" — see instantiator.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/event_loop.h"
+
+namespace ncache::topo {
+
+enum class NodeKind : std::uint8_t { Client, Switch, Balancer, Server, Target };
+
+const char* to_string(NodeKind kind);
+/// Parses a kind token ("client", "switch", ...); throws TopologyError.
+NodeKind parse_kind(std::string_view token);
+
+class TopologyError : public std::runtime_error {
+ public:
+  explicit TopologyError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Per-edge link profile. Unset fields inherit the cost model's in-rack
+/// cable (gigabit line rate, 10 us store-and-forward hop).
+struct LinkProfile {
+  std::optional<std::uint64_t> bandwidth_bps;
+  std::optional<sim::Duration> latency_ns;
+  double loss = 0.0;  ///< steady-state random frame-drop probability [0,1)
+
+  bool operator==(const LinkProfile&) const = default;
+};
+
+struct NodeSpec {
+  std::string id;
+  NodeKind kind = NodeKind::Client;
+  /// Free-form key=value attributes (kept sorted for deterministic
+  /// describe()); the instantiator reads the ones it knows.
+  std::map<std::string, std::string> attrs;
+
+  bool operator==(const NodeSpec&) const = default;
+};
+
+struct EdgeSpec {
+  std::string a;
+  std::string b;
+  LinkProfile link;
+
+  bool operator==(const EdgeSpec&) const = default;
+};
+
+struct Topology {
+  std::string name = "topology";
+  std::vector<NodeSpec> nodes;  ///< declaration order is construction order
+  std::vector<EdgeSpec> edges;  ///< a host's edge order is its NIC order
+
+  const NodeSpec* find(std::string_view id) const;
+  std::vector<const NodeSpec*> of_kind(NodeKind kind) const;
+  /// Edges touching `id`, in declaration order (a host's NICs).
+  std::vector<const EdgeSpec*> edges_of(std::string_view id) const;
+
+  /// Structural validation; throws TopologyError on the first defect.
+  /// Guarantees the graph is instantiable: unique well-formed ids, every
+  /// edge resolvable with at least one switch endpoint, no zero-bandwidth
+  /// or lossy>=1 links, hosts single-homed to switches (servers may be
+  /// multi-NIC), the switch-trunk graph connected and acyclic, exactly
+  /// one target, at most one balancer, at least one server and one
+  /// switch.
+  void validate() const;
+
+  /// Canonical text form; Topology::parse(describe()) reproduces this
+  /// topology exactly (same order, same normalized numbers).
+  std::string describe() const;
+
+  /// Parses the text format. Accepts '#' comments, blank lines, and
+  /// human units (bandwidth=1Gbps|200Mbps|5000000, latency=5ms|10us|500ns,
+  /// loss=0.001). Throws TopologyError with a line number on bad input.
+  /// Note: parse does NOT validate the graph — call validate() (the
+  /// builder and instantiator do).
+  static Topology parse(std::string_view text);
+
+  bool operator==(const Topology&) const = default;
+};
+
+/// Fluent construction. Node methods append a node; `link` appends an
+/// edge, and bandwidth/latency/loss refine the most recent edge.
+/// `build()` validates and returns the finished graph.
+class TopologyBuilder {
+ public:
+  explicit TopologyBuilder(std::string name = "topology");
+
+  TopologyBuilder& client(std::string id);
+  TopologyBuilder& ether_switch(std::string id);
+  TopologyBuilder& balancer(std::string id);
+  TopologyBuilder& server(std::string id);
+  TopologyBuilder& target(std::string id);
+  /// Attaches key=value to the most recently added node.
+  TopologyBuilder& attr(std::string key, std::string value);
+
+  TopologyBuilder& link(std::string a, std::string b);
+  /// Refine the most recently added edge.
+  TopologyBuilder& bandwidth(std::uint64_t bps);
+  TopologyBuilder& latency(sim::Duration ns);
+  TopologyBuilder& loss(double probability);
+
+  /// Validates and returns the topology (throws TopologyError).
+  Topology build() const;
+  /// The graph as described so far, unvalidated.
+  const Topology& peek() const noexcept { return topo_; }
+
+ private:
+  TopologyBuilder& add_node(std::string id, NodeKind kind);
+
+  Topology topo_;
+};
+
+}  // namespace ncache::topo

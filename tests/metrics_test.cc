@@ -166,7 +166,7 @@ TEST(MetricsRoundTrip, RegistryDumpMatchesTypedSnapshot) {
   auto parsed = json::Value::parse(tb.metrics().to_json().dump());
   ASSERT_TRUE(parsed.has_value());
 
-  const auto* server = parsed->find("server");
+  const auto* server = parsed->find("server0");
   ASSERT_NE(server, nullptr);
   EXPECT_NEAR(server->find("cpu.utilization")->as_double(), snap.server_cpu,
               kFmtTol);
@@ -181,7 +181,7 @@ TEST(MetricsRoundTrip, RegistryDumpMatchesTypedSnapshot) {
   EXPECT_NEAR(server->find("nic0.tx.utilization")->as_double(),
               snap.server_link_util, kFmtTol);
 
-  const auto* storage = parsed->find("storage");
+  const auto* storage = parsed->find("storage0");
   ASSERT_NE(storage, nullptr);
   EXPECT_NEAR(storage->find("cpu.utilization")->as_double(), snap.storage_cpu,
               kFmtTol);
@@ -226,13 +226,13 @@ TEST(MetricsRoundTrip, ResetStatsZeroesTheWindow) {
     (void)co_await tb.nfs_client(0).read(ino, 0, 32768);
   };
   sim::sync_wait(tb.loop(), t_fn());
-  EXPECT_GT(tb.metrics().counter_value("server", "nfs.requests"), 0u);
-  EXPECT_GT(tb.metrics().counter_value("server", "copy.data_ops"), 0u);
+  EXPECT_GT(tb.metrics().counter_value("server0", "nfs.requests"), 0u);
+  EXPECT_GT(tb.metrics().counter_value("server0", "copy.data_ops"), 0u);
 
   tb.reset_stats();
-  EXPECT_EQ(tb.metrics().counter_value("server", "nfs.requests"), 0u);
-  EXPECT_EQ(tb.metrics().counter_value("server", "copy.data_ops"), 0u);
-  EXPECT_EQ(tb.metrics().counter_value("server", "nic0.tx.frames"), 0u);
+  EXPECT_EQ(tb.metrics().counter_value("server0", "nfs.requests"), 0u);
+  EXPECT_EQ(tb.metrics().counter_value("server0", "copy.data_ops"), 0u);
+  EXPECT_EQ(tb.metrics().counter_value("server0", "nic0.tx.frames"), 0u);
 }
 
 }  // namespace

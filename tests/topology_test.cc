@@ -1,0 +1,290 @@
+// Topology description layer.
+//
+//  * parse -> describe round trip is the identity on every preset (and on
+//    graphs with link profiles, attributes, comments and unit suffixes).
+//  * validate() rejects malformed graphs: dangling edges, duplicate node
+//    ids, zero-bandwidth links, host-to-host links, trunk cycles,
+//    disconnected fabrics, bad role counts.
+//  * The builder's refinement calls (bandwidth/latency/loss/attr) target
+//    the most recent edge/node and throw when there is none.
+#include <gtest/gtest.h>
+
+#include "topo/presets.h"
+#include "topo/topology.h"
+
+namespace ncache::topo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+void expect_round_trip(const Topology& topo) {
+  std::string text = topo.describe();
+  Topology parsed = Topology::parse(text);
+  EXPECT_EQ(parsed.name, topo.name);
+  EXPECT_EQ(parsed.nodes, topo.nodes);
+  EXPECT_EQ(parsed.edges, topo.edges);
+  EXPECT_EQ(parsed.describe(), text) << "describe() is not a fixed point";
+  parsed.validate();  // presets must stay instantiable through the text form
+}
+
+TEST(TopologyRoundTrip, Presets) {
+  expect_round_trip(presets::single_server(1, 2));
+  expect_round_trip(presets::single_server(2, 4));
+  expect_round_trip(presets::cluster(1, 1));
+  expect_round_trip(presets::cluster(4, 8));
+  expect_round_trip(presets::two_racks_wan(2));
+  expect_round_trip(presets::two_racks_wan(3, 200'000'000,
+                                           5 * sim::kMillisecond, 0.001));
+}
+
+TEST(TopologyRoundTrip, AttrsAndProfilesSurvive) {
+  Topology t = TopologyBuilder("attrs")
+                   .ether_switch("sw")
+                   .target("storage0")
+                   .server("server0")
+                   .attr("rack", "b")
+                   .attr("zone", "1")
+                   .link("storage0", "sw")
+                   .link("server0", "sw")
+                   .bandwidth(250'000'000)
+                   .latency(1'500)
+                   .loss(0.0625)
+                   .build();
+  expect_round_trip(t);
+  const NodeSpec* server = t.find("server0");
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->attrs.at("rack"), "b");
+  EXPECT_EQ(server->attrs.at("zone"), "1");
+}
+
+TEST(TopologyParse, UnitSuffixes) {
+  Topology t = Topology::parse(
+      "topology units\n"
+      "node sw switch\n"
+      "node storage0 target\n"
+      "node server0 server\n"
+      "# comment line\n"
+      "link storage0 sw bandwidth=1Gbps latency=10us\n"
+      "link server0 sw bandwidth=200Mbps latency=5ms loss=0.001  # trailing\n");
+  t.validate();
+  ASSERT_EQ(t.edges.size(), 2u);
+  EXPECT_EQ(t.edges[0].link.bandwidth_bps, 1'000'000'000u);
+  EXPECT_EQ(t.edges[0].link.latency_ns, 10'000);
+  EXPECT_EQ(t.edges[1].link.bandwidth_bps, 200'000'000u);
+  EXPECT_EQ(t.edges[1].link.latency_ns, 5'000'000);
+  EXPECT_DOUBLE_EQ(t.edges[1].link.loss, 0.001);
+}
+
+TEST(TopologyParse, RawNumbersAndBpsSuffix) {
+  Topology t = Topology::parse(
+      "topology raw\n"
+      "node sw switch\n"
+      "node storage0 target\n"
+      "node server0 server\n"
+      "link storage0 sw bandwidth=123456789bps latency=777\n"
+      "link server0 sw bandwidth=54Kbps latency=2s\n");
+  EXPECT_EQ(t.edges[0].link.bandwidth_bps, 123'456'789u);
+  EXPECT_EQ(t.edges[0].link.latency_ns, 777);
+  EXPECT_EQ(t.edges[1].link.bandwidth_bps, 54'000u);
+  EXPECT_EQ(t.edges[1].link.latency_ns, 2'000'000'000);
+}
+
+// ---------------------------------------------------------------------------
+// Structural validation
+// ---------------------------------------------------------------------------
+
+TopologyBuilder minimal() {
+  TopologyBuilder b("minimal");
+  b.ether_switch("sw").target("storage0").server("server0");
+  b.link("storage0", "sw").link("server0", "sw");
+  return b;
+}
+
+TEST(TopologyValidate, MinimalGraphPasses) {
+  EXPECT_NO_THROW(minimal().build());
+}
+
+TEST(TopologyValidate, DanglingEdge) {
+  auto b = minimal();
+  b.link("ghost", "sw");
+  EXPECT_THROW(b.build(), TopologyError);
+}
+
+TEST(TopologyValidate, DuplicateNodeId) {
+  auto b = minimal();
+  b.client("server0").link("server0", "sw");
+  EXPECT_THROW(b.build(), TopologyError);
+}
+
+TEST(TopologyValidate, ZeroBandwidthLink) {
+  auto b = minimal();
+  b.client("c0").link("c0", "sw").bandwidth(0);
+  EXPECT_THROW(b.build(), TopologyError);
+}
+
+TEST(TopologyValidate, HostToHostLink) {
+  auto b = minimal();
+  b.client("c0").link("c0", "server0");
+  EXPECT_THROW(b.build(), TopologyError);
+}
+
+TEST(TopologyValidate, SelfAndDuplicateLinks) {
+  auto a = minimal();
+  a.link("sw", "sw");
+  EXPECT_THROW(a.build(), TopologyError);
+
+  // A second server-switch cable is just a 2-NIC server — legal.
+  auto b = minimal();
+  b.link("server0", "sw");
+  EXPECT_NO_THROW(b.build());
+
+  // A parallel trunk is not.
+  TopologyBuilder c("t");
+  c.ether_switch("s1").ether_switch("s2");
+  c.target("storage0").server("server0");
+  c.link("storage0", "s1").link("server0", "s2");
+  c.link("s1", "s2").link("s2", "s1");
+  EXPECT_THROW(c.build(), TopologyError);
+}
+
+TEST(TopologyValidate, TrunkCycle) {
+  TopologyBuilder b("cycle");
+  b.ether_switch("s1").ether_switch("s2").ether_switch("s3");
+  b.target("storage0").server("server0");
+  b.link("storage0", "s1").link("server0", "s2");
+  b.link("s1", "s2").link("s2", "s3").link("s3", "s1");
+  EXPECT_THROW(b.build(), TopologyError);
+}
+
+TEST(TopologyValidate, DisconnectedFabric) {
+  TopologyBuilder b("split");
+  b.ether_switch("s1").ether_switch("s2");
+  b.target("storage0").server("server0");
+  b.link("storage0", "s1").link("server0", "s2");
+  EXPECT_THROW(b.build(), TopologyError);
+}
+
+TEST(TopologyValidate, RoleCounts) {
+  // No target.
+  TopologyBuilder no_target("t");
+  no_target.ether_switch("sw").server("server0").link("server0", "sw");
+  EXPECT_THROW(no_target.build(), TopologyError);
+
+  // Two targets.
+  auto two_targets = minimal();
+  two_targets.target("storage1").link("storage1", "sw");
+  EXPECT_THROW(two_targets.build(), TopologyError);
+
+  // Two balancers.
+  auto two_lbs = minimal();
+  two_lbs.balancer("lb0").link("lb0", "sw");
+  two_lbs.balancer("lb1").link("lb1", "sw");
+  EXPECT_THROW(two_lbs.build(), TopologyError);
+
+  // No server.
+  TopologyBuilder no_server("t");
+  no_server.ether_switch("sw").target("storage0").link("storage0", "sw");
+  EXPECT_THROW(no_server.build(), TopologyError);
+
+  // No switch.
+  TopologyBuilder no_switch("t");
+  no_switch.target("storage0").server("server0");
+  no_switch.link("server0", "storage0");
+  EXPECT_THROW(no_switch.build(), TopologyError);
+}
+
+TEST(TopologyValidate, OnlyServersMayBeMultiHomed) {
+  // A 2-NIC server is the paper's Fig 5b shape — allowed.
+  EXPECT_NO_THROW(presets::single_server(2, 1).validate());
+
+  // A 2-NIC client is not.
+  TopologyBuilder b("t");
+  b.ether_switch("s1").ether_switch("s2").link("s1", "s2");
+  b.target("storage0").server("server0").client("c0");
+  b.link("storage0", "s1").link("server0", "s1");
+  b.link("c0", "s1").link("c0", "s2");
+  EXPECT_THROW(b.build(), TopologyError);
+}
+
+TEST(TopologyValidate, IsolatedHost) {
+  auto b = minimal();
+  b.client("loner");  // declared but never linked
+  EXPECT_THROW(b.build(), TopologyError);
+}
+
+TEST(TopologyValidate, LossRange) {
+  auto b = minimal();
+  b.client("c0").link("c0", "sw").loss(1.0);
+  EXPECT_THROW(b.build(), TopologyError);
+}
+
+// ---------------------------------------------------------------------------
+// Parser error paths
+// ---------------------------------------------------------------------------
+
+TEST(TopologyParse, ErrorsCarryLineNumbers) {
+  try {
+    Topology::parse("topology t\nnode sw switch\nnode bad wombat\n");
+    FAIL() << "expected TopologyError";
+  } catch (const TopologyError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TopologyParse, RejectsBadInput) {
+  EXPECT_THROW(Topology::parse("frobnicate x y\n"), TopologyError);
+  EXPECT_THROW(Topology::parse("topology a\ntopology b\n"), TopologyError);
+  EXPECT_THROW(Topology::parse("node 0bad client\n"), TopologyError);
+  EXPECT_THROW(Topology::parse("node sw\n"), TopologyError);
+  EXPECT_THROW(Topology::parse("link a\n"), TopologyError);
+  EXPECT_THROW(Topology::parse("link a b frobs=1\n"), TopologyError);
+  EXPECT_THROW(Topology::parse("link a b bandwidth=fast\n"), TopologyError);
+  EXPECT_THROW(Topology::parse("link a b latency=-5ms\n"), TopologyError);
+  EXPECT_THROW(Topology::parse("link a b loss=1.5\n"), TopologyError);
+  EXPECT_THROW(Topology::parse("node n client badattr\n"), TopologyError);
+}
+
+TEST(TopologyBuilder_, RefinementNeedsAnEdge) {
+  TopologyBuilder b("t");
+  EXPECT_THROW(b.bandwidth(1), TopologyError);
+  EXPECT_THROW(b.latency(1), TopologyError);
+  EXPECT_THROW(b.loss(0.5), TopologyError);
+  EXPECT_THROW(b.attr("k", "v"), TopologyError);
+}
+
+// ---------------------------------------------------------------------------
+// Query helpers
+// ---------------------------------------------------------------------------
+
+TEST(TopologyQuery, FindOfKindEdgesOf) {
+  Topology t = presets::cluster(3, 2);
+  EXPECT_NE(t.find("lb0"), nullptr);
+  EXPECT_EQ(t.find("nope"), nullptr);
+  EXPECT_EQ(t.of_kind(NodeKind::Server).size(), 3u);
+  EXPECT_EQ(t.of_kind(NodeKind::Client).size(), 2u);
+  EXPECT_EQ(t.of_kind(NodeKind::Balancer).size(), 1u);
+  EXPECT_EQ(t.edges_of("switch0").size(), t.edges.size());
+  EXPECT_EQ(t.edges_of("server1").size(), 1u);
+}
+
+TEST(TopologyQuery, TwoRackShapeIsExpressible) {
+  // The previously inexpressible shape: clients on rack A, server and
+  // storage on rack B, a profiled WAN trunk between the racks.
+  Topology t = presets::two_racks_wan(2, 200'000'000, 5 * sim::kMillisecond,
+                                      0.001);
+  EXPECT_EQ(t.of_kind(NodeKind::Switch).size(), 2u);
+  const EdgeSpec* trunk = nullptr;
+  for (const EdgeSpec& e : t.edges) {
+    if (e.a == "rack_a" && e.b == "rack_b") trunk = &e;
+  }
+  ASSERT_NE(trunk, nullptr);
+  EXPECT_EQ(trunk->link.bandwidth_bps, 200'000'000u);
+  EXPECT_EQ(trunk->link.latency_ns, 5 * sim::kMillisecond);
+  EXPECT_DOUBLE_EQ(trunk->link.loss, 0.001);
+}
+
+}  // namespace
+}  // namespace ncache::topo

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Lints every checked-in topology file: parse, validate, and the
+# describe/parse round-trip law, via the topo_lint example binary.
+# Wired into ctest (test `validate_topologies`) so a .topo that drifts
+# from the text format fails the build's test run, not a user's first
+# attempt to load it.
+#
+# Usage: validate_topology.sh <topo_lint-binary> <topologies-dir>
+set -eu
+
+LINT="$1"
+DIR="$2"
+
+found=0
+for f in "$DIR"/*.topo; do
+  [ -e "$f" ] || continue
+  found=1
+  "$LINT" "$f"
+done
+
+if [ "$found" -eq 0 ]; then
+  echo "validate_topology.sh: no *.topo files under $DIR" >&2
+  exit 1
+fi
