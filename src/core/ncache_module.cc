@@ -5,6 +5,7 @@
 namespace ncache::core {
 
 using netbuf::CacheKey;
+using netbuf::CacheKeyHash;
 using netbuf::FhoKey;
 using netbuf::KeySeg;
 using netbuf::LbnKey;
@@ -151,6 +152,19 @@ bool NCacheModule::egress_filter(proto::Frame& frame) {
       rebuilt.append(MsgBuffer::junk(k->len));
       continue;
     }
+    // SMP: the cache is logically partitioned by key hash — the same RSS
+    // map that steers flows. Materializing a key whose owner core differs
+    // from the transmitting core pulls the chain's cache lines across the
+    // interconnect; charge the handoff to the core doing the transmit.
+    if (stack_.cpu().cores() > 1) {
+      unsigned owner = stack_.cpu().steer(CacheKeyHash{}(k->key));
+      unsigned here = stack_.cpu().current_core();
+      if (here == sim::CpuModel::kNoCore) here = 0;
+      if (owner != here) {
+        ++stats_.cross_core_handoffs;
+        stack_.cpu().charge_on(here, stack_.costs().cross_core_handoff_ns);
+      }
+    }
     rebuilt.append(cached->slice(k->off, k->len));
   }
   frame.payload = std::move(rebuilt);
@@ -173,6 +187,12 @@ void NCacheModule::register_metrics(MetricRegistry& registry,
                    [this] { return stats_.substitution_misses; });
   registry.counter(node, "ncache.frames_passed",
                    [this] { return stats_.frames_passed; });
+  // SMP-only row, mirroring cpu.coreN.*: K=1 output stays byte-identical
+  // to the historical single-core model.
+  if (stack_.cpu().cores() > 1) {
+    registry.counter(node, "ncache.cross_core_handoff",
+                     [this] { return stats_.cross_core_handoffs; });
+  }
   registry.counter(node, "ncache.second_level_hits",
                    [this] { return stats_.second_level_hits; });
   registry.counter(node, "ncache.degrade_entries",

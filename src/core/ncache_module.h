@@ -29,6 +29,7 @@ struct ModuleStats {
   std::uint64_t keys_substituted = 0;
   std::uint64_t substitution_misses = 0;  ///< key evicted before egress
   std::uint64_t frames_passed = 0;        ///< frames with no keys (metadata)
+  std::uint64_t cross_core_handoffs = 0;  ///< key owned by another core (SMP)
   std::uint64_t second_level_hits = 0;    ///< initiator reads served locally
   std::uint64_t degrade_entries = 0;      ///< times the module fell back
   std::uint64_t degrade_exits = 0;        ///< times it recovered

@@ -40,8 +40,13 @@ void KHttpd::register_metrics(MetricRegistry& registry,
 
 void KHttpd::on_accept(proto::TcpConnectionPtr conn) {
   ++stats_.connections;
-  stack_.cpu().charge(stack_.costs().tcp_connection_ns);
+  // RSS: a connection's requests all run on the core its 4-tuple hashes
+  // to (identically 0 on a K=1 model).
+  unsigned core = stack_.cpu().steer(
+      (std::uint64_t(conn->remote_ip()) << 16) ^ conn->remote_port());
+  stack_.cpu().charge_on(core, stack_.costs().tcp_connection_ns);
   auto c = std::make_shared<Connection>(*this, std::move(conn));
+  c->core = core;
   // Weak: the handler slots live on the connection and the Connection
   // holds that connection — strong captures would tie a cycle.
   // connections_ owns it; in-flight responses pin it via shared_from_this.
@@ -98,7 +103,8 @@ Task<void> KHttpd::Connection::serve_and_continue(std::string path) {
   co_await serve(std::move(path));
   busy = false;
   if (close_after && pipeline.empty()) {
-    server.stack_.cpu().charge(server.stack_.costs().tcp_connection_ns / 2);
+    server.stack_.cpu().charge_on(core,
+                                  server.stack_.costs().tcp_connection_ns / 2);
     sock.conn().close();
     co_return;
   }
@@ -126,8 +132,9 @@ Task<std::optional<std::uint32_t>> KHttpd::resolve(std::string_view path) {
 
 Task<void> KHttpd::Connection::serve(std::string path) {
   auto& stack = server.stack_;
-  // Per-request server work (parse, dentry walk, socket bookkeeping).
-  co_await stack.cpu().run(stack.costs().request_ns);
+  // Per-request server work (parse, dentry walk, socket bookkeeping) on
+  // the connection's steered core.
+  co_await stack.cpu().run_on(core, stack.costs().request_ns);
 
   auto ino = co_await server.resolve(path);
   if (!ino) {
@@ -161,6 +168,9 @@ Task<void> KHttpd::Connection::serve(std::string path) {
       sock.conn().reset();  // truncated file mid-response: abort
       co_return;
     }
+    // The fs await dropped the core context; sendfile's copy charges
+    // belong to the connection's steered core.
+    sim::CpuModel::CoreGuard on_core(stack.cpu(), core);
     server.stats_.body_bytes += sock.send_data(data, sock::Via::Sendfile);
     off += want;
   }

@@ -66,6 +66,7 @@ class KHttpd {
     /// The extended socket interface (§4): all response egress — headers
     /// via the metadata path, body via the mode seam — goes through here.
     sock::TcpSocket sock;
+    unsigned core = 0;  ///< RSS-steered core (hash of the TCP 4-tuple)
     std::string inbox;        ///< accumulated request bytes
     bool busy = false;        ///< a request is being served
     bool close_after = false; ///< client sent Connection: close

@@ -18,7 +18,14 @@
 // depend on. Requests above the largest class fall through to exact-size
 // allocation and are not retained.
 //
-// The simulator is single-threaded; none of this is locked.
+// Threading: a slab is never locked. Single-loop worlds use the process()
+// singleton; the parallel engine gives each event-loop domain its own
+// SlabCache and binds it to the executing worker thread for the duration
+// of a window (see bind()/current()), so every slab is only ever touched
+// by one thread at a time. Storage allocated in one domain and released
+// in another (a frame crossing a trunk) simply migrates between slabs;
+// which slab receives it depends only on simulated causality, never on
+// the worker-thread count, so hit/miss counters stay deterministic.
 #pragma once
 
 #include <cstddef>
@@ -54,10 +61,26 @@ class SlabCache {
   std::uint64_t dropped() const noexcept { return dropped_; }
   std::size_t held_bytes() const noexcept { return held_bytes_; }
 
-  /// The process-wide instance every NetBuffer recycles through.
+  /// The process-wide instance every NetBuffer recycles through when no
+  /// domain slab is bound to the calling thread.
   static SlabCache& process();
 
+  /// The slab NetBuffers on this thread allocate from / recycle into:
+  /// the bound domain slab, or process() when none is bound.
+  static SlabCache& current() noexcept {
+    SlabCache* bound = bound_ref();
+    return bound ? *bound : process();
+  }
+
+  /// Binds `slab` to the calling thread (nullptr unbinds). The parallel
+  /// engine brackets each domain window with this.
+  static void bind(SlabCache* slab) noexcept { bound_ref() = slab; }
+
  private:
+  static SlabCache*& bound_ref() noexcept {
+    thread_local SlabCache* bound = nullptr;
+    return bound;
+  }
   static constexpr int kNumClasses = 13;  // 2^8 .. 2^20
 
   /// Smallest class index whose size is >= bytes; kNumClasses if none.
@@ -72,10 +95,11 @@ class SlabCache {
 
 /// Minimal std allocator over a per-type free list; sizeof(T) must be at
 /// least a pointer. std::allocate_shared uses it to recycle shared_ptr
-/// control blocks the same way SlabCache recycles buffer storage. Freed
-/// blocks are kept until process exit (they stay reachable through the
-/// list head, so leak checkers are happy); the list never holds more
-/// blocks than the type's high-water live count.
+/// control blocks the same way SlabCache recycles buffer storage. The
+/// list is thread-local (parallel-engine workers each recycle their own
+/// blocks; a block freed on another thread just migrates lists), holds at
+/// most the type's high-water live count per thread, and stays reachable
+/// through the list head until the thread exits.
 template <typename T>
 struct RecyclingAllocator {
   using value_type = T;
@@ -114,7 +138,7 @@ struct RecyclingAllocator {
 
  private:
   static void*& free_head() noexcept {
-    static void* head = nullptr;
+    thread_local void* head = nullptr;
     return head;
   }
 };

@@ -48,7 +48,12 @@ void NfsServer::stop() {
 void NfsServer::on_datagram(proto::Ipv4Addr sip, std::uint16_t sport,
                             proto::Ipv4Addr dip, std::uint16_t /*dport*/,
                             MsgBuffer msg) {
-  Request req{sip, sport, dip, std::move(msg)};
+  // RSS: hash the client flow so one client's requests stay on one core
+  // (on a K=1 model steer() is identically 0 and nothing changes). The
+  // receive interrupt itself still runs wherever the NIC delivered it;
+  // only the daemon-side work is steered.
+  unsigned core = stack_.cpu().steer((std::uint64_t(sip) << 16) ^ sport);
+  Request req{sip, sport, dip, core, std::move(msg)};
   if (!waiting_.empty()) {
     auto w = std::move(waiting_.front());
     waiting_.pop_front();
@@ -131,8 +136,10 @@ void NfsServer::send_reply(const Request& req, std::uint32_t xid,
 
 Task<void> NfsServer::handle(Request req) {
   ++stats_.requests;
-  // Per-request daemon work: decode, handle lookup, scheduling.
-  co_await stack_.cpu().run(stack_.costs().request_ns);
+  // Per-request daemon work: decode, handle lookup, scheduling — on the
+  // RSS-steered core. The coroutine resumes inside that core's completion
+  // context, so synchronous costs up to the next suspension follow it.
+  co_await stack_.cpu().run_on(req.core, stack_.costs().request_ns);
 
   auto head_len = std::min<std::size_t>(req.msg.size(), kCallHeaderBytes);
   if (head_len < kCallHeaderBytes) {
@@ -188,7 +195,10 @@ Task<void> NfsServer::do_read(const Request& req, const CallHeader& call,
   w.u32(std::uint32_t(data.size()));
   // The NFS daemon relays with read() + sendmsg(): two module boundaries.
   // The socket's PassMode decides what crosses them — physical copies,
-  // logical keys, or junk (Table 2's read-path counts).
+  // logical keys, or junk (Table 2's read-path counts). The fs awaits
+  // above dropped the core context, so re-establish it: the copy /
+  // checksum charges inside send_data belong to the steered daemon core.
+  sim::CpuModel::CoreGuard on_core(stack_.cpu(), req.core);
   stats_.read_bytes +=
       sock_.send_data(reply_endpoint(req),
                       reply_head(call.xid, Status::Ok, reply_body), data,
@@ -248,6 +258,9 @@ Task<void> NfsServer::do_write(const Request& req, const CallHeader& call,
   std::vector<std::byte> reply_body;
   ByteWriter w(reply_body);
   attr.serialize(w);
+  // The fs await dropped the core context; the reply transmit charges
+  // belong to the steered daemon core.
+  sim::CpuModel::CoreGuard on_core(stack_.cpu(), req.core);
   send_reply(req, call.xid,
              wrote == args.count ? Status::Ok : Status::NoSpace, reply_body);
 }

@@ -88,6 +88,7 @@ class NfsServer {
     proto::Ipv4Addr client_ip;
     std::uint16_t client_port;
     proto::Ipv4Addr server_ip;  ///< which NIC it arrived on (reply binding)
+    unsigned core = 0;  ///< RSS-steered core (hash of the client flow)
     netbuf::MsgBuffer msg;
   };
 

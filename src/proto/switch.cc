@@ -41,9 +41,12 @@ sim::DuplexLink& EthernetSwitch::connect_switch(EthernetSwitch& peer,
   if (&peer == this) {
     throw std::invalid_argument("connect_switch: self-loop on " + name_);
   }
+  // Each trunk direction serializes on its transmitting switch's loop, so
+  // the cable works unchanged when the two switches live in different
+  // event-loop domains (same loop in a classic single-loop world).
   auto cable = std::make_unique<sim::DuplexLink>(
-      loop_, name_ + "-" + peer.name_ + ".trunk", bandwidth_bps, latency_ns,
-      costs_.frame_overhead_bytes);
+      loop_, peer.loop_, name_ + "-" + peer.name_ + ".trunk", bandwidth_bps,
+      latency_ns, costs_.frame_overhead_bytes);
   sim::DuplexLink* wire = cable.get();
   std::size_t my_index = ports_.size();
   std::size_t peer_index = peer.ports_.size();

@@ -63,6 +63,15 @@ struct CostModel {
   /// Logical copy of one key across a module boundary.
   Duration logical_copy_ns = 120;
 
+  // --- SMP (multi-core server) costs ---------------------------------------
+  /// Handing a logically-copied buffer from the core that owns its NCache
+  /// partition to the core serving the request: cross-core cache-line
+  /// transfer + reference hand-off. Only charged when the two differ.
+  Duration cross_core_handoff_ns = 1'500;
+  /// Backlog (ns of queued work) beyond which an idle core steals a
+  /// steered submission; 0 keeps RSS placement strict.
+  Duration cpu_steal_threshold_ns = 0;
+
   // --- link parameters ------------------------------------------------------
   /// Gigabit Ethernet payload rate.
   std::uint64_t link_bandwidth_bps = 1'000'000'000;

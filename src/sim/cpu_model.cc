@@ -1,54 +1,160 @@
 #include "sim/cpu_model.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/metrics.h"
 
 namespace ncache::sim {
 
-void CpuModel::submit(Duration cost, InlineCallback done) {
-  Time start = std::max(loop_.now(), free_at_);
+void CpuModel::set_cores(unsigned k) {
+  if (k == 0 || k > kMaxCores) {
+    throw std::invalid_argument("CpuModel: cores must be in [1, 64]");
+  }
+  if (submitted_ != 0) {
+    throw std::logic_error("CpuModel: set_cores() after work was submitted");
+  }
+  // Fresh vector rather than resize: Core is move-only (the completion
+  // FIFO holds InlineCallbacks) and the CPU is cold, so nothing carries
+  // over.
+  cores_ = std::vector<Core>(k);
+}
+
+unsigned CpuModel::steer(std::uint64_t flow_hash) const noexcept {
+  if (!rss_ || cores_.size() == 1) return 0;
+  // mix64 (splitmix finalizer): the low bits of raw tuples are far from
+  // uniform, exactly the reason real RSS hashes before indirection.
+  flow_hash ^= flow_hash >> 33;
+  flow_hash *= 0xff51afd7ed558ccdull;
+  flow_hash ^= flow_hash >> 33;
+  flow_hash *= 0xc4ceb9fe1a85ec53ull;
+  flow_hash ^= flow_hash >> 33;
+  return unsigned(flow_hash % cores_.size());
+}
+
+void CpuModel::submit_on(unsigned core, Duration cost, InlineCallback done) {
+  if (core >= cores_.size()) core = 0;
+  Time now = loop_.now();
+  // Deterministic steal: if the steered core is backlogged past the
+  // threshold and some other core is idle, the lowest-numbered idle core
+  // takes the item (what a work-stealing scheduler or kernel softirq
+  // spreading would do, collapsed to a deterministic rule).
+  if (steal_threshold_ != 0 && cores_.size() > 1 &&
+      cores_[core].free_at > now + steal_threshold_) {
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+      if (c != core && cores_[c].free_at <= now) {
+        core = c;
+        ++steals_;
+        break;
+      }
+    }
+  }
+
+  Core& cpu = cores_[core];
+  Time start = std::max(now, cpu.free_at);
   Time finish = start + cost;
-  free_at_ = finish;
+  cpu.free_at = finish;
   // Clip accounting to the current measurement window: work queued before
   // reset_stats() but finishing after it counts only its in-window part.
   Time acct_start = std::max(start, window_start_);
-  if (finish > acct_start) busy_ns_ += finish - acct_start;
-  ++items_;
+  if (finish > acct_start) cpu.busy_ns += finish - acct_start;
+  ++cpu.items;
+  ++submitted_;
   if (done) {
-    loop_.schedule_at(finish, std::move(done));
+    // Completions pop from a per-core FIFO so the dispatch runs inside
+    // this core's context (current_core() == core): nested charge() calls
+    // attribute to the core doing the work. Per-core finish times are
+    // monotone, so FIFO order is finish order.
+    cpu.done_q.push_back(std::move(done));
+    loop_.schedule_at(finish, [this, core] { dispatch_done(core); });
   }
+}
+
+void CpuModel::dispatch_done(unsigned core) {
+  InlineCallback done = std::move(cores_[core].done_q.front());
+  cores_[core].done_q.pop_front();
+  CoreGuard ctx(*this, core);
+  done();
+}
+
+Duration CpuModel::busy_ns() const noexcept {
+  Duration total = 0;
+  for (const Core& c : cores_) total += c.busy_ns;
+  return total;
+}
+
+std::uint64_t CpuModel::items() const noexcept {
+  std::uint64_t total = 0;
+  for (const Core& c : cores_) total += c.items;
+  return total;
+}
+
+Time CpuModel::free_at() const noexcept {
+  Time latest = 0;
+  for (const Core& c : cores_) latest = std::max(latest, c.free_at);
+  return latest;
+}
+
+double CpuModel::core_utilization(unsigned core) const noexcept {
+  Time now = loop_.now();
+  if (now <= window_start_) return 0.0;
+  Duration elapsed = now - window_start_;
+  const Core& c = cores_[core];
+  // busy_ns may exceed elapsed transiently when queued work extends past
+  // `now`; count only busy time already in the past.
+  Duration busy = c.busy_ns;
+  if (c.free_at > now) {
+    Duration future = c.free_at - now;
+    busy = busy > future ? busy - future : 0;
+  }
+  return std::min(1.0, double(busy) / double(elapsed));
 }
 
 double CpuModel::utilization() const noexcept {
   Time now = loop_.now();
   if (now <= window_start_) return 0.0;
   Duration elapsed = now - window_start_;
-  // busy_ns_ may exceed elapsed transiently when queued work extends past
-  // `now`; clamp for reporting. Count only busy time already in the past.
-  Duration busy = busy_ns_;
-  if (free_at_ > now) {
-    Duration future = free_at_ - now;
-    busy = busy > future ? busy - future : 0;
+  Duration busy = 0;
+  for (const Core& c : cores_) {
+    Duration b = c.busy_ns;
+    if (c.free_at > now) {
+      Duration future = c.free_at - now;
+      b = b > future ? b - future : 0;
+    }
+    busy += std::min(Duration(elapsed), b);
   }
-  return std::min(1.0, double(busy) / double(elapsed));
+  return std::min(1.0, double(busy) / double(elapsed * cores_.size()));
 }
 
 void CpuModel::reset_stats() noexcept {
-  busy_ns_ = 0;
-  items_ = 0;
   window_start_ = loop_.now();
-  // If the CPU is mid-item, the remaining in-flight work belongs to the new
-  // window.
-  if (free_at_ > window_start_) busy_ns_ = free_at_ - window_start_;
+  for (Core& c : cores_) {
+    c.busy_ns = 0;
+    c.items = 0;
+    // If the core is mid-item, the remaining in-flight work belongs to
+    // the new window.
+    if (c.free_at > window_start_) c.busy_ns = c.free_at - window_start_;
+  }
+  steals_ = 0;
 }
 
 void CpuModel::register_metrics(MetricRegistry& registry,
                                 const std::string& node) {
   registry.gauge(node, "cpu.utilization", [this] { return utilization(); });
   registry.counter(node, "cpu.busy_ns",
-                   [this] { return std::uint64_t(busy_ns_); });
-  registry.counter(node, "cpu.items", [this] { return items_; });
+                   [this] { return std::uint64_t(busy_ns()); });
+  registry.counter(node, "cpu.items", [this] { return items(); });
+  if (cores_.size() > 1) {
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+      std::string prefix = "cpu.core" + std::to_string(c);
+      registry.counter(node, prefix + ".busy_ns", [this, c] {
+        return std::uint64_t(cores_[c].busy_ns);
+      });
+      registry.counter(node, prefix + ".items",
+                       [this, c] { return cores_[c].items; });
+    }
+    registry.counter(node, "cpu.steal", [this] { return steals_; });
+  }
   registry.on_reset([this] { reset_stats(); });
 }
 

@@ -1,13 +1,15 @@
 #include "sim/event_loop.h"
 
+#include <atomic>
+
 namespace ncache::sim {
 
 namespace {
-std::uint64_t g_process_dispatched = 0;
+std::atomic<std::uint64_t> g_process_dispatched{0};
 }  // namespace
 
 std::uint64_t EventLoop::process_dispatched() noexcept {
-  return g_process_dispatched;
+  return g_process_dispatched.load(std::memory_order_relaxed);
 }
 
 bool EventLoop::step() {
@@ -19,7 +21,7 @@ bool EventLoop::step() {
   if (!n) return false;
   now_ = n->e.at;
   ++dispatched_;
-  ++g_process_dispatched;
+  g_process_dispatched.fetch_add(1, std::memory_order_relaxed);
   if (n->e.fn) n->e.fn();  // null fn = pure time marker
   wheel_.recycle(n);
   return true;
@@ -42,6 +44,16 @@ std::size_t EventLoop::run_until(Time deadline) {
     ++n;
   }
   if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::size_t EventLoop::run_before(Time horizon) {
+  std::size_t n = 0;
+  while (const TimerWheel::Entry* next = wheel_.peek()) {
+    if (next->at >= horizon) break;
+    step();
+    ++n;
+  }
   return n;
 }
 

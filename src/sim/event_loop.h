@@ -55,8 +55,29 @@ class EventLoop {
   /// Events at exactly `deadline` are processed.
   std::size_t run_until(Time deadline);
 
+  /// Runs every event strictly before `horizon` (events at exactly
+  /// `horizon` stay pending) and leaves the clock at the last event
+  /// processed. The conservative-window primitive of the parallel engine:
+  /// a domain may safely run to its neighbors' floor + lookahead.
+  std::size_t run_before(Time horizon);
+
   /// Processes a single event; returns false if none is pending.
   bool step();
+
+  /// Earliest pending event time, or kNoEvent when the loop is idle.
+  /// (Non-const: peeking may advance the wheel cursor — see run_until.)
+  static constexpr Time kNoEvent = ~Time(0);
+  Time next_event_time() noexcept {
+    const TimerWheel::Entry* next = wheel_.peek();
+    return next ? next->at : kNoEvent;
+  }
+
+  /// Moves the clock forward to `t` without dispatching anything (no-op if
+  /// `t` is in the past). The parallel engine aligns domain clocks at a
+  /// deadline with this, exactly like run_until()'s trailing advance.
+  void advance_to(Time t) noexcept {
+    if (t > now_) now_ = t;
+  }
 
   bool idle() const noexcept { return wheel_.empty(); }
   std::size_t pending() const noexcept { return wheel_.size(); }
@@ -76,8 +97,8 @@ class EventLoop {
   void reserve_pending(std::size_t events) { wheel_.reserve(events); }
 
   /// Events dispatched by every loop in this process (wall-clock telemetry:
-  /// the BENCH_*.json "wall" block divides by elapsed real time). The
-  /// simulator is single-threaded, so a plain counter suffices.
+  /// the BENCH_*.json "wall" block divides by elapsed real time). Relaxed
+  /// atomic: the parallel engine dispatches from several worker threads.
   static std::uint64_t process_dispatched() noexcept;
 
   /// Registry for detached root coroutines driven by this loop. Declared

@@ -35,7 +35,15 @@ void Link::transmit(std::size_t bytes, InlineCallback delivered) {
   ++frames_;
   payload_bytes_ += bytes;
 
-  loop_.schedule_at(done_tx + latency_ns_, std::move(delivered));
+  Time deliver_at = done_tx + latency_ns_;
+  if (remote_) {
+    // Receive side lives in another domain: stage the delivery with the
+    // engine instead of the local loop. Fire-and-forget frames (null
+    // callback) have nothing to do remotely.
+    if (delivered) remote_(deliver_at, std::move(delivered));
+    return;
+  }
+  loop_.schedule_at(deliver_at, std::move(delivered));
 }
 
 double Link::utilization() const noexcept {

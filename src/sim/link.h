@@ -36,6 +36,13 @@ class Link {
   /// callback never fires — exactly a frame lost on the wire).
   using DropHook = std::function<bool(std::size_t)>;
 
+  /// Cross-domain delivery: when set, the receive side of this link lives
+  /// in a different event-loop domain, and `delivered` is handed to the
+  /// hook (with its absolute arrival time) instead of the local loop. The
+  /// parallel engine installs these on trunk directions and merges the
+  /// staged deliveries deterministically at its window barrier.
+  using RemoteHook = std::function<void(Time deliver_at, InlineCallback fn)>;
+
   /// Transmits a frame of `bytes` payload (wire overhead added internally);
   /// `delivered` fires at the receiver once the last bit arrives (pass
   /// nullptr to model fire-and-forget traffic). Frames offered while the
@@ -50,6 +57,9 @@ class Link {
 
   /// Installs (or clears, with nullptr) the fault-injection drop hook.
   void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
+  /// Installs (or clears) the cross-domain delivery hook.
+  void set_remote_hook(RemoteHook hook) { remote_ = std::move(hook); }
 
   std::uint64_t dropped_down() const noexcept { return dropped_down_; }
   std::uint64_t dropped_faults() const noexcept { return dropped_faults_; }
@@ -85,17 +95,29 @@ class Link {
 
   bool admin_up_ = true;
   DropHook drop_hook_;
+  RemoteHook remote_;
   std::uint64_t dropped_down_ = 0;
   std::uint64_t dropped_faults_ = 0;
 };
 
-/// A full-duplex cable: two independent directions.
+/// A full-duplex cable: two independent directions. Each direction is
+/// driven by the loop of its *transmitting* side, so a cable spanning two
+/// event-loop domains (a partitioned world's trunk) serializes each
+/// direction on the correct clock; the single-loop constructor covers the
+/// common same-domain case.
 struct DuplexLink {
   DuplexLink(EventLoop& loop, const std::string& name,
              std::uint64_t bandwidth_bps, Duration latency_ns,
              std::uint32_t overhead_bytes)
-      : a_to_b(loop, name + ".fwd", bandwidth_bps, latency_ns, overhead_bytes),
-        b_to_a(loop, name + ".rev", bandwidth_bps, latency_ns,
+      : DuplexLink(loop, loop, name, bandwidth_bps, latency_ns,
+                   overhead_bytes) {}
+
+  DuplexLink(EventLoop& loop_a, EventLoop& loop_b, const std::string& name,
+             std::uint64_t bandwidth_bps, Duration latency_ns,
+             std::uint32_t overhead_bytes)
+      : a_to_b(loop_a, name + ".fwd", bandwidth_bps, latency_ns,
+               overhead_bytes),
+        b_to_a(loop_b, name + ".rev", bandwidth_bps, latency_ns,
                overhead_bytes) {}
 
   Link a_to_b;

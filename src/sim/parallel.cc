@@ -1,0 +1,221 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace ncache::sim {
+
+ParallelEngine::ParallelEngine(unsigned threads)
+    : threads_(threads == 0 ? 1 : threads) {
+  for (unsigned t = 1; t < threads_; ++t) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+unsigned ParallelEngine::add_domain(EventLoop& loop, std::string name) {
+  if (running_) {
+    throw std::logic_error("ParallelEngine: add_domain after first run");
+  }
+  auto d = std::make_unique<Domain>();
+  d->loop = &loop;
+  d->name = std::move(name);
+  domains_.push_back(std::move(d));
+  return unsigned(domains_.size() - 1);
+}
+
+void ParallelEngine::post(unsigned src, unsigned dst, Time at,
+                          InlineCallback fn) {
+  Domain& s = *domains_.at(src);
+  s.outbox.at(dst).push_back(Msg{at, s.out_seq++, std::move(fn)});
+}
+
+Time ParallelEngine::next_floor() {
+  Time floor = EventLoop::kNoEvent;
+  for (auto& d : domains_) {
+    floor = std::min(floor, d->loop->next_event_time());
+  }
+  return floor;
+}
+
+void ParallelEngine::run_domain(unsigned d, Time limit) {
+  Domain& dom = *domains_[d];
+  if (enter_) enter_(d);
+  try {
+    dom.processed = dom.loop->run_before(limit);
+  } catch (...) {
+    dom.error = std::current_exception();
+  }
+  if (exit_) exit_(d);
+}
+
+void ParallelEngine::merge_outboxes() {
+  struct Item {
+    Time at;
+    unsigned src;
+    std::uint64_t seq;
+    InlineCallback* fn;
+  };
+  const unsigned n = domain_count();
+  std::vector<Item> items;
+  for (unsigned dst = 0; dst < n; ++dst) {
+    items.clear();
+    for (unsigned src = 0; src < n; ++src) {
+      for (Msg& m : domains_[src]->outbox[dst]) {
+        items.push_back(Item{m.at, src, m.seq, &m.fn});
+      }
+    }
+    // Total order over the inbox: arrival time, then source domain, then
+    // send order within the source. This is a pure function of what the
+    // domains staged, so the destination loop's (time, seq) stream is the
+    // same for every worker-thread count.
+    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+      if (a.at != b.at) return a.at < b.at;
+      if (a.src != b.src) return a.src < b.src;
+      return a.seq < b.seq;
+    });
+    for (Item& it : items) {
+      domains_[dst]->loop->schedule_at(it.at, std::move(*it.fn));
+    }
+    for (unsigned src = 0; src < n; ++src) domains_[src]->outbox[dst].clear();
+  }
+}
+
+std::size_t ParallelEngine::round(Time limit) {
+  const unsigned n = domain_count();
+  // Pre-scan for domains that actually have work below the horizon. In a
+  // sparse stretch (e.g. a long simulated idle tail) most windows hold
+  // events in exactly one domain; running it inline skips the worker-pool
+  // handshake — two context switches per round that would otherwise
+  // dominate the wall clock. The scan itself is a wheel peek per domain,
+  // the same operation next_floor() just did.
+  unsigned busy = 0;
+  unsigned only = 0;
+  for (unsigned d = 0; d < n; ++d) {
+    if (domains_[d]->loop->next_event_time() < limit) {
+      ++busy;
+      only = d;
+    }
+  }
+  const unsigned executors = std::min(threads_, busy ? busy : 1u);
+  if (executors <= 1) {
+    if (busy <= 1) {
+      if (busy) run_domain(only, limit);
+    } else {
+      for (unsigned d = 0; d < n; ++d) run_domain(d, limit);
+    }
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      round_limit_ = limit;
+      next_domain_.store(0, std::memory_order_relaxed);
+      workers_busy_ = unsigned(workers_.size());
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    // The caller is an executor too.
+    for (unsigned d; (d = next_domain_.fetch_add(1)) < n;) {
+      run_domain(d, limit);
+    }
+    std::unique_lock<std::mutex> lock(m_);
+    cv_done_.wait(lock, [this] { return workers_busy_ == 0; });
+  }
+
+  // First error wins, lowest domain id first so reporting is
+  // deterministic. Outboxes are still merged: schedules already staged
+  // stay consistent if the caller catches and resumes.
+  merge_outboxes();
+  ++rounds_;
+  std::size_t total = 0;
+  std::exception_ptr error;
+  for (auto& d : domains_) {
+    total += d->processed;
+    d->processed = 0;
+    if (d->error && !error) error = d->error;
+    d->error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+  return total;
+}
+
+void ParallelEngine::worker_main() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_work_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    const unsigned n = domain_count();
+    for (unsigned d; (d = next_domain_.fetch_add(1)) < n;) {
+      run_domain(d, round_limit_);
+    }
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      --workers_busy_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+std::size_t ParallelEngine::run(const std::function<bool()>& stop) {
+  if (domains_.empty()) return 0;
+  if (domain_count() > 1 && lookahead_ == 0) {
+    throw std::logic_error("ParallelEngine: lookahead must be > 0");
+  }
+  running_ = true;
+  for (auto& d : domains_) d->outbox.resize(domain_count());
+
+  std::size_t total = 0;
+  for (;;) {
+    if (stop && stop()) break;
+    Time floor = next_floor();
+    if (floor == EventLoop::kNoEvent) break;
+    Time limit =
+        domain_count() == 1 ? EventLoop::kNoEvent : floor + lookahead_;
+    total += round(limit);
+  }
+  return total;
+}
+
+std::size_t ParallelEngine::run_until(Time deadline) {
+  if (domains_.empty()) return 0;
+  if (domain_count() > 1 && lookahead_ == 0) {
+    throw std::logic_error("ParallelEngine: lookahead must be > 0");
+  }
+  running_ = true;
+  for (auto& d : domains_) d->outbox.resize(domain_count());
+
+  std::size_t total = 0;
+  for (;;) {
+    Time floor = next_floor();
+    if (floor == EventLoop::kNoEvent || floor > deadline) break;
+    Time limit = deadline + 1;  // run_before is strict, so events at
+                                // exactly `deadline` still run
+    if (domain_count() > 1) {
+      limit = std::min(limit, floor + lookahead_);
+    }
+    total += round(limit);
+  }
+  for (auto& d : domains_) d->loop->advance_to(deadline);
+  return total;
+}
+
+Time ParallelEngine::now() const noexcept {
+  Time latest = 0;
+  for (auto& d : domains_) latest = std::max(latest, d->loop->now());
+  return latest;
+}
+
+}  // namespace ncache::sim

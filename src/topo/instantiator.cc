@@ -14,13 +14,90 @@ World::World(Topology topo, WorldConfig config)
   topo_.validate();
   if (config_.mode == core::PassMode::Baseline) config_.peering = false;
 
+  if (config_.partitioned) build_domains();
   book_ = std::make_shared<proto::AddressBook>();
-  faults_ = std::make_unique<fault::FaultInjector>(loop_, config_.fault_seed);
+  // Partitioned note: the injector lives in domain 0; scheduled fault
+  // plans are a single-loop feature (chaos suites run classic worlds).
+  faults_ = std::make_unique<fault::FaultInjector>(
+      engine_ ? *domain_loops_.front() : loop_, config_.fault_seed);
 
   build_fabric();
   build_hosts();
   build_roles();
   register_all_metrics();
+}
+
+void World::build_domains() {
+  engine_ = std::make_unique<sim::ParallelEngine>(
+      config_.threads == 0 ? 1 : config_.threads);
+  for (const NodeSpec& n : topo_.nodes) {
+    if (n.kind != NodeKind::Switch) continue;
+    domain_loops_.push_back(std::make_unique<sim::EventLoop>());
+    domain_slabs_.push_back(std::make_unique<netbuf::SlabCache>());
+    switch_domain_.emplace(
+        n.id, engine_->add_domain(*domain_loops_.back(), n.id));
+  }
+  // Every host must be rack-local: its models live on one domain loop, so
+  // its NICs cannot cable into two different domains.
+  for (const NodeSpec& n : topo_.nodes) {
+    if (n.kind == NodeKind::Switch) continue;
+    const EdgeSpec* first = nullptr;
+    for (const EdgeSpec* e : topo_.edges_of(n.id)) {
+      const std::string& sw = e->a == n.id ? e->b : e->a;
+      if (!switch_domain_.count(sw)) continue;  // host-host edge: validated out
+      if (!first) {
+        first = e;
+        continue;
+      }
+      const std::string& fsw = first->a == n.id ? first->b : first->a;
+      if (fsw != sw) {
+        throw TopologyError("partitioned world: host '" + n.id +
+                            "' cables into switches '" + fsw + "' and '" +
+                            sw + "' (hosts must be rack-local)");
+      }
+    }
+  }
+  // Conservative lookahead = the minimum trunk latency: nothing crosses a
+  // domain boundary faster than the fastest trunk.
+  sim::Duration lookahead = config_.costs.link_latency_ns;
+  bool first_trunk = true;
+  for (const EdgeSpec& e : topo_.edges) {
+    if (!switch_domain_.count(e.a) || !switch_domain_.count(e.b)) continue;
+    sim::Duration lat = e.link.latency_ns.value_or(config_.costs.link_latency_ns);
+    lookahead = first_trunk ? lat : std::min(lookahead, lat);
+    first_trunk = false;
+  }
+  engine_->set_lookahead(lookahead);
+  // Each domain recycles buffers through its own slab while its window
+  // runs — keeps the slabs single-threaded and their counters independent
+  // of the worker-thread count.
+  engine_->set_scope_hooks(
+      [this](unsigned d) { netbuf::SlabCache::bind(domain_slabs_[d].get()); },
+      [](unsigned) { netbuf::SlabCache::bind(nullptr); });
+}
+
+unsigned World::domain_of(std::string_view node_id) const {
+  if (!engine_) {
+    throw std::logic_error("World::domain_of: world is not partitioned");
+  }
+  auto sw = switch_domain_.find(std::string(node_id));
+  if (sw != switch_domain_.end()) return sw->second;
+  auto it = hosts_.find(std::string(node_id));
+  if (it == hosts_.end()) {
+    throw std::out_of_range("World: no node '" + std::string(node_id) + "'");
+  }
+  return switch_domain_.at(it->second.nic_switch.front()->name());
+}
+
+sim::EventLoop& World::loop_of(const NodeSpec& n) {
+  if (!engine_) return loop_;
+  for (const EdgeSpec* e : topo_.edges_of(n.id)) {
+    const std::string& sw = e->a == n.id ? e->b : e->a;
+    auto it = switch_domain_.find(sw);
+    if (it != switch_domain_.end()) return *domain_loops_[it->second];
+  }
+  throw TopologyError("partitioned world: host '" + n.id +
+                      "' has no switch edge");
 }
 
 World::Host& World::host(std::string_view id) {
@@ -63,8 +140,10 @@ proto::Ipv4Addr World::client_ip(int i) const {
 void World::build_fabric() {
   for (const NodeSpec& n : topo_.nodes) {
     if (n.kind != NodeKind::Switch) continue;
+    sim::EventLoop& swloop =
+        engine_ ? *domain_loops_[switch_domain_.at(n.id)] : loop_;
     auto sw =
-        std::make_unique<proto::EthernetSwitch>(loop_, n.id, config_.costs);
+        std::make_unique<proto::EthernetSwitch>(swloop, n.id, config_.costs);
     switch_order_.push_back(sw.get());
     switches_.emplace(n.id, std::move(sw));
   }
@@ -76,7 +155,15 @@ void World::build_fabric() {
         config_.costs.link_bandwidth_bps);
     sim::Duration lat =
         e.link.latency_ns.value_or(config_.costs.link_latency_ns);
-    a->second->connect_switch(*b->second, bw, lat);
+    sim::DuplexLink& wire = a->second->connect_switch(*b->second, bw, lat);
+    if (engine_) {
+      // Trunks are the only cables crossing domains: deliveries to the
+      // far switch are staged with the engine and merged at its barrier.
+      unsigned da = switch_domain_.at(e.a);
+      unsigned db = switch_domain_.at(e.b);
+      wire.a_to_b.set_remote_hook(engine_->remote_hook(da, db));
+      wire.b_to_a.set_remote_hook(engine_->remote_hook(db, da));
+    }
   }
 }
 
@@ -130,9 +217,21 @@ void World::build_hosts() {
 
     Host h;
     h.spec = &n;
-    h.node = make_wired_node(loop_, config_.costs, book_,
+    h.loop = &loop_of(n);
+    h.node = make_wired_node(*h.loop, config_.costs, book_,
                              *switch_order_.front(), n.id, specs);
     h.nic_switch = std::move(nic_switch);
+    if (n.kind == NodeKind::Server) {
+      // SMP: the node attribute wins over the config default; K = 1 keeps
+      // the historical single-core model bit-for-bit.
+      unsigned cores = config_.server_cores == 0 ? 1 : config_.server_cores;
+      auto attr = n.attrs.find("cores");
+      if (attr != n.attrs.end()) {
+        cores = unsigned(std::stoul(attr->second));  // validated [1, 64]
+      }
+      if (cores != 1) h.node->cpu.set_cores(cores);
+      h.node->cpu.set_steal_threshold(config_.costs.cpu_steal_threshold_ns);
+    }
     auto [it, _] = hosts_.emplace(n.id, std::move(h));
     host_order_.push_back(&it->second);
 
@@ -186,9 +285,10 @@ void World::build_hosts() {
 }
 
 void World::build_roles() {
-  // Target-side stack.
+  // Target-side stack (on the storage host's loop — its own domain in a
+  // partitioned world).
   store_ = std::make_unique<blockdev::BlockStore>(
-      loop_, config_.costs, "raid0", config_.volume_blocks);
+      *storage_->loop, config_.costs, "raid0", config_.volume_blocks);
   image_ = std::make_unique<fs::FsImageBuilder>(*store_, config_.volume_blocks,
                                                 config_.inode_count);
   target_ = std::make_unique<iscsi::IscsiTarget>(storage_->node->stack,
@@ -201,12 +301,21 @@ void World::build_roles() {
     wire_target_->attach(*target_);
   }
 
-  // Balancer (and the peer list every PeerCache shares).
+  // Balancer (and the peer list every PeerCache shares). Multi-server
+  // worlds without a balancer (per-rack direct binding) still peer when
+  // configured to.
+  const bool clustered =
+      lb_host_ != nullptr ||
+      (config_.peer_without_balancer && servers_.size() > 1);
   std::vector<cluster::Peer> peer_list;
+  if (clustered) {
+    for (std::size_t i = 0; i < server_ips_.size(); ++i) {
+      peer_list.push_back({std::uint32_t(i), server_ips_[i]});
+    }
+  }
   if (lb_host_) {
     std::vector<cluster::LoadBalancer::Member> member_list;
     for (std::size_t i = 0; i < server_ips_.size(); ++i) {
-      peer_list.push_back({std::uint32_t(i), server_ips_[i]});
       member_list.push_back({std::uint32_t(i), server_ips_[i]});
     }
     cluster::LoadBalancer::Config lc;
@@ -240,7 +349,8 @@ void World::build_roles() {
         break;
     }
 
-    if (lb_host_) {
+    sim::EventLoop& sloop = *host(s.id).loop;
+    if (clustered) {
       cluster::PeerCache::Config pc;
       pc.self_id = std::uint32_t(i);
       pc.target_id = 0;
@@ -251,14 +361,14 @@ void World::build_roles() {
                                                      peer_list);
       s.block_client = std::make_unique<cluster::PeerBlockClient>(
           *s.initiator, *s.peers, s.ncache.get());
-      s.fs = std::make_unique<fs::SimpleFs>(loop_, *s.block_client,
+      s.fs = std::make_unique<fs::SimpleFs>(sloop, *s.block_client,
                                             config_.fs_cache_blocks,
                                             config_.fs_readahead_blocks);
       // Late wiring: the agent serves from / invalidates into these
       // caches, but the block client had to exist before the fs could.
       s.peers->attach(s.ncache.get(), s.fs.get());
     } else {
-      s.fs = std::make_unique<fs::SimpleFs>(loop_, *s.initiator,
+      s.fs = std::make_unique<fs::SimpleFs>(sloop, *s.initiator,
                                             config_.fs_cache_blocks,
                                             config_.fs_readahead_blocks);
     }
@@ -270,12 +380,26 @@ void World::register_all_metrics() {
   // subsystems in topology declaration order, then the fault injector.
   // NFS servers/clients join in start_nfs(). Node ids are the metric
   // labels, so JSON keys are identical across world shapes.
-  metrics_.counter("sim", "clamped_events",
-                   [this] { return loop_.clamped_events(); });
-  metrics_.counter("sim", "netbuf.slab_hits",
-                   [] { return netbuf::SlabCache::process().hits(); });
-  metrics_.counter("sim", "netbuf.slab_misses",
-                   [] { return netbuf::SlabCache::process().misses(); });
+  metrics_.counter("sim", "clamped_events", [this] {
+    if (!engine_) return loop_.clamped_events();
+    std::uint64_t total = 0;
+    for (auto& l : domain_loops_) total += l->clamped_events();
+    return total;
+  });
+  // Partitioned worlds recycle through per-domain slabs; the sums are
+  // deterministic (domain execution does not depend on the worker count).
+  metrics_.counter("sim", "netbuf.slab_hits", [this] {
+    if (!engine_) return netbuf::SlabCache::process().hits();
+    std::uint64_t total = 0;
+    for (auto& s : domain_slabs_) total += s->hits();
+    return total;
+  });
+  metrics_.counter("sim", "netbuf.slab_misses", [this] {
+    if (!engine_) return netbuf::SlabCache::process().misses();
+    std::uint64_t total = 0;
+    for (auto& s : domain_slabs_) total += s->misses();
+    return total;
+  });
 
   std::size_t server_i = 0;
   for (Host* h : host_order_) {
@@ -317,13 +441,33 @@ Task<void> World::bring_up_server(int i) {
   co_await s.fs->mount();
 }
 
+Task<void> World::bring_up_counted(int i, std::atomic<int>* remaining) {
+  co_await bring_up_server(i);
+  remaining->fetch_sub(1, std::memory_order_relaxed);
+}
+
 void World::start_base() {
   if (started_) return;
   started_ = true;
   if (!image_->finished()) image_->finish();
   target_->start();
+  if (!engine_) {
+    for (int i = 0; i < server_count(); ++i) {
+      sim::sync_wait(loop_, bring_up_server(i));
+    }
+    return;
+  }
+  // Partitioned: every server logs in concurrently, the engine drives the
+  // cross-domain iSCSI traffic until all mounts land.
+  std::atomic<int> remaining{server_count()};
   for (int i = 0; i < server_count(); ++i) {
-    sim::sync_wait(loop_, bring_up_server(i));
+    bring_up_counted(i, &remaining)
+        .detach(host(servers_[std::size_t(i)]->id).loop->reaper());
+  }
+  engine_->run(
+      [&] { return remaining.load(std::memory_order_relaxed) == 0; });
+  if (remaining.load(std::memory_order_relaxed) != 0) {
+    throw std::runtime_error("World: partitioned bring-up stalled");
   }
 }
 
@@ -338,11 +482,12 @@ void World::start_nfs() {
     s.nfs = std::make_unique<nfs::NfsServer>(s.node->stack, *s.fs, sc,
                                              s.ncache.get());
     if (s.peers && config_.peering) {
+      TaskReaper& reaper = host(s.id).loop->reaper();
       s.nfs->set_write_observer(
-          [this, i](std::uint64_t fh, std::uint64_t offset,
-                    std::uint32_t count) {
+          [this, i, &reaper](std::uint64_t fh, std::uint64_t offset,
+                             std::uint32_t count) {
             if (servers_[std::size_t(i)]->crashed) return;
-            write_coherence_task(i, fh, offset, count).detach(loop_.reaper());
+            write_coherence_task(i, fh, offset, count).detach(reaper);
           });
     }
     s.nfs->register_metrics(metrics_, s.id);
@@ -350,12 +495,28 @@ void World::start_nfs() {
   }
   if (lb_) lb_->start();
 
-  // Clients bind to the VIP when a balancer fronts the servers; otherwise
-  // round-robin over server0's NICs (the paper's 2-NIC experiment).
+  // Clients bind to the VIP when a balancer fronts the servers; with one
+  // server, round-robin over its NICs (the paper's 2-NIC experiment);
+  // with several servers and no balancer, to the server on their own
+  // switch (per-rack direct binding — presets::cluster_racks).
   std::size_t s0_nics = servers_.front()->node->stack.nic_count();
   for (int i = 0; i < client_count(); ++i) {
-    proto::Ipv4Addr dst =
-        lb_ ? kLbIp : server_ip(0, int(std::size_t(i) % s0_nics));
+    proto::Ipv4Addr dst;
+    if (lb_) {
+      dst = kLbIp;
+    } else if (servers_.size() == 1) {
+      dst = server_ip(0, int(std::size_t(i) % s0_nics));
+    } else {
+      dst = server_ip(0, 0);
+      proto::EthernetSwitch* rack =
+          clients_[std::size_t(i)]->nic_switch.front();
+      for (int s = 0; s < server_count(); ++s) {
+        if (host(servers_[std::size_t(s)]->id).nic_switch.front() == rack) {
+          dst = server_ip(s, 0);
+          break;
+        }
+      }
+    }
     nfs_clients_.push_back(std::make_unique<nfs::NfsClient>(
         clients_[std::size_t(i)]->node->stack, client_ip(i), dst,
         std::uint16_t(700 + i)));
@@ -405,7 +566,7 @@ void World::restart_server(int i) {
   if (!s.crashed) return;
   s.crashed = false;
   set_host_cables(host(s.id), true);
-  restart_task(i).detach(loop_.reaper());
+  restart_task(i).detach(host(s.id).loop->reaper());
 }
 
 Task<void> World::restart_task(int i) {

@@ -36,6 +36,7 @@
 // discipline.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -56,7 +57,9 @@
 #include "iscsi/target.h"
 #include "nfs/client.h"
 #include "nfs/server.h"
+#include "netbuf/slab_cache.h"
 #include "proto/switch.h"
+#include "sim/parallel.h"
 #include "topo/node.h"
 #include "topo/topology.h"
 
@@ -67,6 +70,24 @@ namespace ncache::topo {
 /// software on top behaves.)
 struct WorldConfig {
   core::PassMode mode = core::PassMode::Original;
+
+  // SMP: run-queue count for every server CPU; a server node's `cores=`
+  // attribute overrides this per node. 1 = the paper's single-CPU
+  // pass-through server (byte-identical to the historical model).
+  unsigned server_cores = 1;
+
+  // Parallel simulation: partition the world into one event-loop domain
+  // per switch (per rack) and drive it with `threads` workers through
+  // engine().run()/run_until(). Requires every host's NICs to cable into
+  // a single switch. false = classic single-loop world driven via loop().
+  bool partitioned = false;
+  unsigned threads = 1;
+
+  // Cooperative NCache peering between servers of a balancer-less
+  // multi-server world (e.g. presets::cluster_racks, where each rack's
+  // clients bind to their rack server directly). Balancer worlds always
+  // get peering (subject to `peering` below).
+  bool peer_without_balancer = false;
 
   // Storage volume.
   std::uint64_t volume_blocks = 64 * 1024;  ///< 256 MB default
@@ -125,8 +146,34 @@ class World {
   void start_nfs();
 
   // ---- graph access ----------------------------------------------------------
-  sim::EventLoop& loop() noexcept { return loop_; }
-  const sim::EventLoop& loop() const noexcept { return loop_; }
+  /// The world's event loop (single-loop worlds only; a partitioned world
+  /// has one loop per domain — drive it through engine()).
+  sim::EventLoop& loop() {
+    if (engine_) {
+      throw std::logic_error(
+          "World::loop(): world is partitioned; drive it via engine()");
+    }
+    return loop_;
+  }
+  const sim::EventLoop& loop() const {
+    if (engine_) {
+      throw std::logic_error(
+          "World::loop(): world is partitioned; drive it via engine()");
+    }
+    return loop_;
+  }
+
+  /// The parallel engine of a partitioned world; throws when the world
+  /// was built with partitioned = false.
+  sim::ParallelEngine& engine() {
+    if (!engine_) {
+      throw std::logic_error("World::engine(): world is not partitioned");
+    }
+    return *engine_;
+  }
+  bool partitioned() const noexcept { return engine_ != nullptr; }
+  /// Domain id of a host or switch node (partitioned worlds).
+  unsigned domain_of(std::string_view node_id) const;
   const Topology& topology() const noexcept { return topo_; }
   const WorldConfig& config() const noexcept { return config_; }
   const sim::CostModel& costs() const noexcept { return config_.costs; }
@@ -197,8 +244,12 @@ class World {
     /// Per-NIC switch, parallel to the stack's NICs (multi-rack servers
     /// cable into different fabrics).
     std::vector<proto::EthernetSwitch*> nic_switch;
+    /// The event loop this host's models run on (a domain loop in a
+    /// partitioned world, loop_ otherwise).
+    sim::EventLoop* loop = nullptr;
   };
 
+  void build_domains();
   void build_fabric();
   void build_hosts();
   void build_roles();
@@ -206,7 +257,9 @@ class World {
   void set_host_cables(Host& host, bool up);
 
   Host& host(std::string_view id);
+  sim::EventLoop& loop_of(const NodeSpec& n);
   Task<void> bring_up_server(int i);
+  Task<void> bring_up_counted(int i, std::atomic<int>* remaining);
   Task<void> restart_task(int i);
   Task<void> write_coherence_task(int i, std::uint64_t fh,
                                   std::uint64_t offset, std::uint32_t count);
@@ -214,6 +267,13 @@ class World {
   Topology topo_;
   WorldConfig config_;
   sim::EventLoop loop_;
+  /// Partitioned worlds: one loop + one buffer slab per switch domain
+  /// (declaration order), and the engine that drives them. The engine is
+  /// declared after the loops so its worker pool is gone before they are.
+  std::vector<std::unique_ptr<sim::EventLoop>> domain_loops_;
+  std::vector<std::unique_ptr<netbuf::SlabCache>> domain_slabs_;
+  std::unique_ptr<sim::ParallelEngine> engine_;
+  std::unordered_map<std::string, unsigned> switch_domain_;
   std::shared_ptr<proto::AddressBook> book_;
 
   std::unordered_map<std::string, std::unique_ptr<proto::EthernetSwitch>>

@@ -37,6 +37,29 @@ Topology cluster(int server_count, int client_count) {
   return b.build();
 }
 
+Topology cluster_racks(int rack_count, int clients_per_rack,
+                       unsigned server_cores) {
+  TopologyBuilder b("cluster_racks");
+  b.ether_switch("core0").target("storage0");
+  b.link("storage0", "core0");
+  int client = 0;
+  for (int r = 0; r < rack_count; ++r) {
+    std::string rack = "rack" + std::to_string(r);
+    std::string server = "server" + std::to_string(r);
+    b.ether_switch(rack);
+    b.link(rack, "core0");
+    b.server(server);
+    if (server_cores > 1) b.cores(server_cores);
+    b.link(server, rack);
+    for (int c = 0; c < clients_per_rack; ++c, ++client) {
+      std::string id = "client" + std::to_string(client);
+      b.client(id);
+      b.link(id, rack);
+    }
+  }
+  return b.build();
+}
+
 Topology two_racks_wan(int client_count, std::uint64_t wan_bandwidth_bps,
                        sim::Duration wan_latency_ns, double wan_loss) {
   TopologyBuilder b("two_racks_wan");

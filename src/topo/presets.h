@@ -19,6 +19,17 @@ Topology single_server(int server_nics = 1, int client_count = 2);
 /// Node ids: switch0, storage0, lb0, server0.., client0..
 Topology cluster(int server_count = 2, int client_count = 2);
 
+/// `rack_count` racks, each a switch with one NCache server and
+/// `clients_per_rack` clients, all trunked to a core switch that holds
+/// the storage target. No balancer: each client mounts its rack-local
+/// server directly and the servers peer cooperatively. One event-loop
+/// domain per switch, so this is the shape the parallel engine scales
+/// on (set WorldConfig::partitioned/threads). `server_cores` > 1 marks
+/// every server SMP (cores= attribute). Node ids: core0, storage0,
+/// rack0.., server0.., client0.. (clients numbered across racks).
+Topology cluster_racks(int rack_count = 2, int clients_per_rack = 2,
+                       unsigned server_cores = 1);
+
 /// Two racks joined by a WAN trunk — the shape the bespoke constructors
 /// could not express. Clients sit on rack_a; the server and storage on
 /// rack_b; the trunk carries the given profile (defaults: 200 Mb/s,

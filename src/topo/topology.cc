@@ -240,6 +240,28 @@ void Topology::validate() const {
     }
   }
 
+  // Known attributes. `cores=` turns a server SMP (K run queues with RSS
+  // flow steering — see sim/cpu_model.h); the instantiator ignores
+  // attributes it does not know, but the ones it does must be sane.
+  for (const NodeSpec& n : nodes) {
+    auto it = n.attrs.find("cores");
+    if (it == n.attrs.end()) continue;
+    if (n.kind != NodeKind::Server) {
+      fail("node '" + n.id + "': cores= applies only to servers");
+    }
+    unsigned long k = 0;
+    std::size_t used = 0;
+    try {
+      k = std::stoul(it->second, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != it->second.size() || k == 0 || k > 64) {
+      fail("node '" + n.id + "': cores=" + it->second +
+           " (want an integer in [1, 64])");
+    }
+  }
+
   // The switch graph (trunks) must be connected and acyclic: MAC
   // announcements and floods would otherwise loop forever.
   if (switches > 1) {
@@ -397,6 +419,13 @@ TopologyBuilder& TopologyBuilder::server(std::string id) {
 }
 TopologyBuilder& TopologyBuilder::target(std::string id) {
   return add_node(std::move(id), NodeKind::Target);
+}
+
+TopologyBuilder& TopologyBuilder::cores(unsigned k) {
+  if (topo_.nodes.empty() || topo_.nodes.back().kind != NodeKind::Server) {
+    fail("cores() must follow a server()");
+  }
+  return attr("cores", std::to_string(k));
 }
 
 TopologyBuilder& TopologyBuilder::attr(std::string key, std::string value) {

@@ -131,6 +131,9 @@ class TopologyBuilder {
   TopologyBuilder& target(std::string id);
   /// Attaches key=value to the most recently added node.
   TopologyBuilder& attr(std::string key, std::string value);
+  /// Marks the most recently added server SMP: `cores=k` run queues with
+  /// RSS flow steering (k in [1, 64]; validated at build()).
+  TopologyBuilder& cores(unsigned k);
 
   TopologyBuilder& link(std::string a, std::string b);
   /// Refine the most recently added edge.

@@ -1,10 +1,12 @@
 // Shared accounting for workload generators.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/stats.h"
 #include "sim/event_loop.h"
+#include "sim/parallel.h"
 
 namespace ncache::workload {
 
@@ -33,9 +35,11 @@ struct Counters {
 };
 
 /// Cooperative stop flag shared between a driver and its workers.
+/// Atomic because a partitioned world's workers poll it from different
+/// domain threads (single-loop worlds pay nothing they'd notice).
 struct StopFlag {
-  bool stopped = false;
-  int live_workers = 0;
+  std::atomic<bool> stopped = false;
+  std::atomic<int> live_workers = 0;
 };
 
 /// Standard measurement driver: runs the event loop for `duration` of
@@ -50,6 +54,18 @@ inline sim::Duration run_measurement(sim::EventLoop& loop, StopFlag& stop,
   stop.stopped = true;
   while (stop.live_workers > 0 && loop.step()) {
   }
+  return duration;
+}
+
+/// Partitioned-world variant: drives every domain to the deadline through
+/// the engine, raises the flag, then keeps running rounds until the
+/// workers drain (or the world goes quiet).
+inline sim::Duration run_measurement(sim::ParallelEngine& engine,
+                                     StopFlag& stop, sim::Duration duration) {
+  sim::Time start = engine.now();
+  engine.run_until(start + duration);
+  stop.stopped = true;
+  engine.run([&] { return stop.live_workers.load() <= 0; });
   return duration;
 }
 

@@ -4,9 +4,11 @@
 Every BENCH_*.json carries "wall" objects (a top-level one stamped by
 BenchReport, plus per-row ones in perf_core): the only sanctioned
 non-deterministic section of the telemetry. This script extracts every
-rate inside those blocks (keys ending in "_per_sec") from a baseline and
-a candidate file and fails if any rate regressed by more than the
-tolerance (default 20%, matching run-to-run noise on a loaded CI box).
+rate inside those blocks (keys ending in "_per_sec") plus every parallel
+speedup (keys ending in "_speedup_x", from the multi-thread benches) from
+a baseline and a candidate file and fails if any regressed by more than
+the tolerance (default 20%, matching run-to-run noise on a loaded CI
+box).
 
 Usage:
     perf_compare.py [--tolerance 0.20] <baseline.json> <candidate.json>
@@ -22,13 +24,15 @@ import sys
 
 
 def wall_rates(doc, path=""):
-    """Yields (dotted_path, value) for every *_per_sec inside a "wall"."""
+    """Yields (dotted_path, value) for every *_per_sec / *_speedup_x
+    inside a "wall"."""
     if isinstance(doc, dict):
         for key, value in doc.items():
             sub = f"{path}.{key}" if path else key
             if key == "wall" and isinstance(value, dict):
                 for rate, rv in value.items():
-                    if rate.endswith("_per_sec") and isinstance(
+                    if (rate.endswith("_per_sec")
+                            or rate.endswith("_speedup_x")) and isinstance(
                         rv, (int, float)
                     ):
                         yield f"{sub}.{rate}", float(rv)
