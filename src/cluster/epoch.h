@@ -1,0 +1,29 @@
+// Serial-number arithmetic for membership epochs (RFC 1982 style).
+//
+// Membership epochs are 32-bit counters bumped on every ring change. A
+// long-lived cluster wraps them, so "newer" cannot be `a > b`: after the
+// wrap the successor of 0xFFFFFFFF is 0, which plain comparison calls
+// ancient and every agent would freeze on the last pre-wrap epoch.
+// Instead an epoch is newer when it is ahead by less than half the space,
+// computed in modular arithmetic:
+//
+//   newer(a, b)  :=  a != b  &&  (a - b) mod 2^32 < 2^31
+//
+// When the two differ by exactly 2^31 the relation is undefined (RFC 1982
+// §3.2); we return false from both orderings, so such a broadcast is
+// ignored rather than applied in an order-dependent way. Agents only ever
+// see epochs a handful of steps apart, so the half-space window is never a
+// constraint in practice — it exists purely to make the wrap seamless.
+#pragma once
+
+#include <cstdint>
+
+namespace ncache::cluster {
+
+/// True iff epoch `a` is strictly newer than `b` under serial-number
+/// (wraparound-safe) comparison.
+constexpr bool epoch_newer(std::uint32_t a, std::uint32_t b) noexcept {
+  return a != b && std::uint32_t(a - b) < 0x80000000u;
+}
+
+}  // namespace ncache::cluster

@@ -142,9 +142,9 @@ void LoadBalancer::on_control(proto::Ipv4Addr /*src_ip*/,
   ++stats_.acks_received;
   hb_acked_.insert(id);
   hb_misses_[id] = 0;
-  // A dead member answering is back: re-admit immediately (no need to
-  // wait out a full evaluation round).
-  if (!ring_.has_member(id) && member_ip(id)) mark_live(id);
+  // A dead member answering is NOT re-admitted here: heartbeat_tick
+  // evaluates its probation, and only `readmit_quiet_rounds` consecutive
+  // acked rounds bring it back (flap damping on lossy links).
 }
 
 void LoadBalancer::heartbeat_tick(std::uint64_t generation) {
@@ -153,13 +153,29 @@ void LoadBalancer::heartbeat_tick(std::uint64_t generation) {
   // Evaluate the round that just ended (none before the first probe).
   if (hb_seq_ > 0) {
     for (const Member& m : members_) {
-      if (!ring_.has_member(m.id)) continue;
-      if (hb_acked_.contains(m.id)) {
-        hb_misses_[m.id] = 0;
+      if (ring_.has_member(m.id)) {
+        if (hb_acked_.contains(m.id)) {
+          hb_misses_[m.id] = 0;
+          continue;
+        }
+        if (++hb_misses_[m.id] >= config_.heartbeat_miss_limit) {
+          mark_dead(m.id);
+        }
         continue;
       }
-      if (++hb_misses_[m.id] >= config_.heartbeat_miss_limit) {
-        mark_dead(m.id);
+      // Dead member: re-admission probation. It must answer
+      // readmit_quiet_rounds consecutive probes; one renewed silence
+      // resets the streak, so a link dropping most acks cannot churn the
+      // ring on every one that survives.
+      if (hb_acked_.contains(m.id)) {
+        if (++readmit_streak_[m.id] >= config_.readmit_quiet_rounds) {
+          mark_live(m.id);
+        } else {
+          ++stats_.flaps_suppressed;  // deferred: still on probation
+        }
+      } else if (readmit_streak_[m.id] > 0) {
+        readmit_streak_[m.id] = 0;
+        ++stats_.flaps_suppressed;  // probation reset: a flap caught
       }
     }
   }
@@ -187,6 +203,7 @@ void LoadBalancer::mark_dead(std::uint32_t id) {
   if (!ring_.has_member(id)) return;
   ring_.remove_member(id);
   hb_misses_.erase(id);
+  readmit_streak_.erase(id);
   ++stats_.rebalances;
   last_rebalance_at_ = stack_.loop().now();
   NC_WARN("lb", "member %u marked dead (%zu live)", id,
@@ -198,6 +215,7 @@ void LoadBalancer::mark_live(std::uint32_t id) {
   if (ring_.has_member(id)) return;
   ring_.add_member(id);
   hb_misses_[id] = 0;
+  readmit_streak_.erase(id);
   ++stats_.rebalances;
   last_rebalance_at_ = stack_.loop().now();
   NC_WARN("lb", "member %u re-admitted (%zu live)", id,
@@ -240,6 +258,8 @@ void LoadBalancer::register_metrics(MetricRegistry& registry,
                    [this] { return stats_.rebalances; });
   registry.counter(node, "lb.membership_broadcasts",
                    [this] { return stats_.membership_broadcasts; });
+  registry.counter(node, "lb.flaps_suppressed",
+                   [this] { return stats_.flaps_suppressed; });
   registry.gauge(node, "lb.live_members",
                  [this] { return double(ring_.member_count()); });
   registry.gauge(node, "lb.ring_points",

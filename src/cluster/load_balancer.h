@@ -17,8 +17,13 @@
 // The balancer is also the cluster's failure detector: it heartbeats every
 // replica's peering agent; `heartbeat_miss_limit` silent intervals mark a
 // replica dead, drop it from the ring, and broadcast an epoch-numbered
-// MEMBERSHIP update so every peering agent rebuilds the same ring. An ack
-// from a dead replica brings it back the same way.
+// MEMBERSHIP update so every peering agent rebuilds the same ring. A dead
+// replica is only re-admitted after answering `readmit_quiet_rounds`
+// consecutive probes (a quiet period) — a merely-lossy trunk that drops
+// every third ack can therefore suspend a replica once, but cannot flap
+// the ring on every lucky ack. Suppressed flaps are metered. Epochs are
+// compared with serial-number (RFC 1982) arithmetic on the agent side, so
+// the u32 counter wraps seamlessly.
 #pragma once
 
 #include <optional>
@@ -48,6 +53,9 @@ struct LbStats {
   std::uint64_t acks_received = 0;
   std::uint64_t rebalances = 0;  ///< members marked dead or re-admitted
   std::uint64_t membership_broadcasts = 0;
+  /// Ring changes damping prevented: re-admissions deferred during the
+  /// quiet period, and probations reset by a renewed silence.
+  std::uint64_t flaps_suppressed = 0;
 };
 
 class LoadBalancer {
@@ -65,6 +73,10 @@ class LoadBalancer {
     std::uint16_t nat_base = 30000;  ///< first NAT flow port
     sim::Duration heartbeat_interval = 25 * sim::kMillisecond;
     int heartbeat_miss_limit = 3;
+    /// Consecutive acked rounds a dead member must string together before
+    /// re-admission (suspicion hysteresis; 1 ≈ the old immediate behaviour,
+    /// one evaluation round later).
+    int readmit_quiet_rounds = 2;
     int vnodes = 64;
   };
 
@@ -78,6 +90,9 @@ class LoadBalancer {
   std::size_t live_count() const noexcept { return ring_.member_count(); }
   bool is_live(std::uint32_t id) const { return ring_.has_member(id); }
   std::uint32_t epoch() const noexcept { return epoch_; }
+  /// Repositions the epoch counter (wraparound drills and recovery
+  /// tooling; agents compare serially, so only steps < 2^31 apply).
+  void reset_epoch(std::uint32_t epoch) noexcept { epoch_ = epoch; }
   /// Sim time of the most recent ring change (0 = never) — benches report
   /// rebalance latency as (first post-crash ring change − crash time).
   sim::Time last_rebalance_at() const noexcept { return last_rebalance_at_; }
@@ -131,6 +146,8 @@ class LoadBalancer {
   std::uint32_t hb_seq_ = 0;
   std::unordered_set<std::uint32_t> hb_acked_;  ///< acks this round
   std::unordered_map<std::uint32_t, int> hb_misses_;
+  /// Dead members' consecutive acked rounds (re-admission probation).
+  std::unordered_map<std::uint32_t, int> readmit_streak_;
 
   LbStats stats_;
 };

@@ -1,5 +1,8 @@
 #include "cluster/peer_cache.h"
 
+#include <algorithm>
+
+#include "cluster/epoch.h"
 #include "common/bytes.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -10,8 +13,14 @@ namespace ncache::cluster {
 using netbuf::MsgBuffer;
 
 namespace {
-constexpr std::size_t kFetchReplyHeadBytes = 16;
-constexpr std::size_t kTransferHeadBytes = 16;
+constexpr std::size_t kFetchHeadBytes = 24;
+constexpr std::size_t kFetchReplyHeadBytes = 16;  // + 8 per block (versions)
+constexpr std::size_t kTransferHeadBytes = 16;    // + 8 per block (versions)
+constexpr std::size_t kDigestBatch = 128;  ///< (lbn,version) pairs per datagram
+
+std::uint64_t reliable_key(std::uint32_t peer, std::uint32_t seq) {
+  return (std::uint64_t(peer) << 32) | seq;
+}
 }  // namespace
 
 PeerCache::PeerCache(proto::NetworkStack& stack, Config config,
@@ -49,7 +58,13 @@ void PeerCache::stop() {
   // instead of parking until teardown.
   auto pending = std::move(pending_);
   pending_.clear();
-  for (auto& [seq, fn] : pending) fn(std::nullopt);
+  for (auto& [seq, pf] : pending) pf.fn(std::nullopt);
+  // Forget the reliable window: whatever this instance owed the cluster
+  // is re-derived after restart (crash semantics — the caches are gone
+  // too). Orphaned retransmit timers no-op on the missing tickets.
+  reliable_.clear();
+  reliable_index_.clear();
+  repair_outstanding_ = 0;
 }
 
 std::uint32_t PeerCache::owner_of(std::uint64_t lbn) const {
@@ -67,11 +82,80 @@ sock::UdpSocket::Endpoint PeerCache::peer_endpoint(std::uint32_t id) const {
   return {stack_.primary_ip(), *peer_ip(id), config_.port};
 }
 
+bool PeerCache::versions_stamped(std::uint64_t lbn,
+                                 std::uint32_t count) const {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (version_of(lbn + i) != 0) return true;
+  }
+  return false;
+}
+
+// ---- reliable delivery -------------------------------------------------------
+
+void PeerCache::erase_reliable(std::map<std::uint64_t, Reliable>::iterator it) {
+  if (it->second.digest && repair_outstanding_ > 0) --repair_outstanding_;
+  reliable_index_.erase(reliable_key(it->second.peer, it->second.seq));
+  reliable_.erase(it);
+}
+
+void PeerCache::send_reliable(std::uint32_t peer, std::uint32_t seq,
+                              bool digest,
+                              const std::vector<std::byte>& payload) {
+  if (!peer_ip(peer)) return;
+  // Bounded pending set: evict the oldest entry rather than grow without
+  // limit while a peer stays unreachable (anti-entropy repair covers what
+  // an evicted invalidate would have told it).
+  while (reliable_.size() >= config_.max_pending_reliable) {
+    ++stats_.pending_overflow;
+    erase_reliable(reliable_.begin());
+  }
+  std::uint64_t ticket = next_ticket_++;
+  Reliable r;
+  r.peer = peer;
+  r.seq = seq;
+  r.digest = digest;
+  r.backoff = config_.reliable_backoff;
+  r.payload = payload;
+  if (digest) ++repair_outstanding_;
+  sock_.send_meta(peer_endpoint(peer), payload);
+  stack_.loop().schedule_in(r.backoff, [this, ticket] { retransmit(ticket); });
+  reliable_index_[reliable_key(peer, seq)] = ticket;
+  reliable_.emplace(ticket, std::move(r));
+}
+
+void PeerCache::retransmit(std::uint64_t ticket) {
+  auto it = reliable_.find(ticket);
+  if (it == reliable_.end() || !running_) return;  // acked or stopped
+  Reliable& r = it->second;
+  if (r.attempts >= config_.reliable_max_attempts) {
+    ++stats_.reliable_expired;
+    erase_reliable(it);
+    return;
+  }
+  ++r.attempts;
+  ++stats_.retransmits;
+  sock_.send_meta(peer_endpoint(r.peer), r.payload);
+  r.backoff = std::min(r.backoff * 2, config_.reliable_backoff_cap);
+  stack_.loop().schedule_in(r.backoff, [this, ticket] { retransmit(ticket); });
+}
+
+void PeerCache::ack_reliable(std::uint32_t peer, std::uint32_t seq) {
+  auto idx = reliable_index_.find(reliable_key(peer, seq));
+  if (idx == reliable_index_.end()) return;  // duplicate ack
+  auto it = reliable_.find(idx->second);
+  if (it != reliable_.end()) erase_reliable(it);
+}
+
+// ---- fetch -------------------------------------------------------------------
+
 Task<std::optional<MsgBuffer>> PeerCache::fetch(std::uint64_t lbn,
                                                 std::uint32_t count) {
   std::uint32_t owner = owner_of(lbn);
   auto ip = peer_ip(owner);
-  if (!running_ || !ip || owner == config_.self_id) co_return std::nullopt;
+  // A fenced agent's ring may be stale: do not route by it at all.
+  if (!running_ || fenced_ || !ip || owner == config_.self_id) {
+    co_return std::nullopt;
+  }
 
   std::uint32_t seq = next_seq_++;
   std::vector<std::byte> head;
@@ -80,16 +164,18 @@ Task<std::optional<MsgBuffer>> PeerCache::fetch(std::uint64_t lbn,
   w.u32(seq);
   w.u64(lbn);
   w.u32(count);
+  w.u32(epoch_);
   ++stats_.fetches_sent;
 
   AwaitCallback<std::optional<MsgBuffer>> waiter([&](auto resolve) {
     auto r = std::make_shared<decltype(resolve)>(std::move(resolve));
-    pending_[seq] = [r](std::optional<MsgBuffer> m) { (*r)(std::move(m)); };
+    pending_[seq] = PendingFetch{
+        lbn, count, [r](std::optional<MsgBuffer> m) { (*r)(std::move(m)); }};
     sock_.send_meta({stack_.primary_ip(), *ip, config_.port}, head);
     stack_.loop().schedule_in(config_.fetch_timeout, [this, seq] {
       auto it = pending_.find(seq);
       if (it == pending_.end()) return;  // reply won
-      auto fn = std::move(it->second);
+      auto fn = std::move(it->second.fn);
       pending_.erase(it);
       ++stats_.fetch_timeouts;
       fn(std::nullopt);
@@ -105,7 +191,7 @@ Task<std::optional<MsgBuffer>> PeerCache::fetch(std::uint64_t lbn,
 
 void PeerCache::push_to_owner(std::uint64_t lbn, std::uint32_t count,
                               const MsgBuffer& chain) {
-  if (!running_ || !config_.push_on_miss || !ncache_) return;
+  if (!running_ || fenced_ || !config_.push_on_miss || !ncache_) return;
   if (count == 0 || count > kExtentBlocks) return;  // one extent per datagram
   std::uint32_t owner = owner_of(lbn);
   if (owner == config_.self_id || !peer_ip(owner)) return;
@@ -114,32 +200,63 @@ void PeerCache::push_to_owner(std::uint64_t lbn, std::uint32_t count,
   w.u32(std::uint32_t(PeerMsg::Transfer));
   w.u64(lbn);
   w.u32(count);
+  // Version stamps ride along only once a write has touched the run (the
+  // receiver tells the two layouts apart by datagram size); all-zero
+  // stamps carry no information, and a never-written cluster must put
+  // byte-identical traffic on the wire with or without the coherence
+  // machinery.
+  if (versions_stamped(lbn, count)) {
+    for (std::uint32_t i = 0; i < count; ++i) w.u64(version_of(lbn + i));
+  }
   // Key-bearing chains materialize at the NIC (the egress interceptor), so
   // the owner receives physical bytes it can ingest.
   sock_.send_data(peer_endpoint(owner), head, chain, sock::Via::Sendfile);
   ++stats_.pushes;
 }
 
+// ---- write coherence ---------------------------------------------------------
+
 void PeerCache::broadcast_invalidate(
     const std::vector<std::uint32_t>& lbns) {
   if (!running_ || !config_.enabled || lbns.empty()) return;
+  std::uint32_t seq = next_seq_++;
   std::vector<std::byte> head;
   ByteWriter w(head);
   w.u32(std::uint32_t(PeerMsg::Invalidate));
+  w.u32(config_.self_id);
+  w.u32(epoch_);
+  w.u32(seq);
   w.u32(std::uint32_t(lbns.size()));
-  for (std::uint32_t lbn : lbns) w.u64(lbn);
-  // Iterate the fixed peer list (not the unordered live set) so the send
-  // order is deterministic.
+  for (std::uint32_t lbn : lbns) {
+    // The writer's copy is the fresh one; bumping the version here makes
+    // every older replica copy provably stale.
+    std::uint64_t v = ++versions_[lbn];
+    w.u64(lbn);
+    w.u64(v);
+  }
+  // Reliable broadcast to every *configured* peer, not just live ones: a
+  // partitioned peer is exactly the one that must eventually hear this,
+  // and the retransmit stream delivers it once the cut heals. Iterating
+  // the fixed peer list keeps the send order deterministic.
   for (const Peer& p : peers_) {
-    if (p.id == config_.self_id || !live_.contains(p.id)) continue;
-    sock_.send_meta({stack_.primary_ip(), p.ip, config_.port}, head);
+    if (p.id == config_.self_id) continue;
+    send_reliable(p.id, seq, /*digest=*/false, head);
     ++stats_.invalidates_sent;
   }
 }
 
+// ---- membership / fencing ----------------------------------------------------
+
 void PeerCache::apply_membership(std::uint32_t epoch,
                                  const std::vector<std::uint32_t>& live) {
-  if (epoch <= epoch_) return;  // stale or duplicate broadcast
+  if (!epoch_newer(epoch, epoch_)) {
+    ++stats_.stale_epoch_ignored;  // stale or duplicate broadcast
+    return;
+  }
+  // A serial gap means we missed at least one broadcast — and with it,
+  // possibly invalidates sent while we were cut off; repair below.
+  bool gap = std::uint32_t(epoch - epoch_) > 1;
+  bool was_fenced = fenced_;
   epoch_ = epoch;
   ++stats_.membership_updates;
   ring_ = HashRing(config_.vnodes);
@@ -149,29 +266,125 @@ void PeerCache::apply_membership(std::uint32_t epoch,
     ring_.add_member(id);
     live_.insert(id);
   }
-  if (ring_.empty() || !ncache_ || !running_) return;
-
-  // Re-home cached chunks the new ring assigns to another live member, so
-  // fetches routed by the rebuilt ring hit immediately. lbn_keys() is
-  // sorted, which keeps the transfer order deterministic.
-  std::size_t moved = 0;
-  for (const netbuf::LbnKey& key : ncache_->cache().lbn_keys()) {
-    if (key.target != config_.target_id) continue;
-    if (moved >= config_.max_transfer_blocks) break;
-    std::uint32_t owner = owner_of(key.lbn);
-    if (owner == config_.self_id) continue;
-    auto chain = ncache_->cache().lookup(netbuf::CacheKey{key});
-    if (!chain) continue;
-    std::vector<std::byte> head;
-    ByteWriter w(head);
-    w.u32(std::uint32_t(PeerMsg::Transfer));
-    w.u64(key.lbn);
-    w.u32(1);
-    sock_.send_data(peer_endpoint(owner), head, *chain, sock::Via::Sendfile);
-    ++stats_.transfers_sent;
-    ++stats_.blocks_transferred;
-    ++moved;
+  // The fencing rule: excluded from the newest live set we have seen =>
+  // our ring (and possibly our data) is suspect; serve nothing until a
+  // newer epoch re-admits us.
+  fenced_ = config_.enabled && !live_.contains(config_.self_id);
+  if (fenced_) {
+    NC_WARN("peer", "agent %u fenced at epoch %u", config_.self_id, epoch_);
   }
+  if (ring_.empty() || fenced_ || !running_) return;
+
+  if (ncache_) {
+    // Re-home cached chunks the new ring assigns to another live member,
+    // so fetches routed by the rebuilt ring hit immediately. lbn_keys()
+    // is sorted, which keeps the transfer order deterministic.
+    std::size_t moved = 0;
+    for (const netbuf::LbnKey& key : ncache_->cache().lbn_keys()) {
+      if (key.target != config_.target_id) continue;
+      if (moved >= config_.max_transfer_blocks) break;
+      std::uint32_t owner = owner_of(key.lbn);
+      if (owner == config_.self_id) continue;
+      auto chain = ncache_->cache().lookup(netbuf::CacheKey{key});
+      if (!chain) continue;
+      std::vector<std::byte> head;
+      ByteWriter w(head);
+      w.u32(std::uint32_t(PeerMsg::Transfer));
+      w.u64(key.lbn);
+      w.u32(1);
+      if (versions_stamped(key.lbn, 1)) w.u64(version_of(key.lbn));
+      sock_.send_data(peer_endpoint(owner), head, *chain, sock::Via::Sendfile);
+      ++stats_.transfers_sent;
+      ++stats_.blocks_transferred;
+      ++moved;
+    }
+  }
+
+  // Rejoining after a fence, or jumping an epoch gap, means invalidates
+  // may have been lost to the partition: reconcile versions with the
+  // responsible peers before trusting (or serving) the local contents.
+  if (was_fenced || gap) run_repair();
+}
+
+// ---- anti-entropy repair -----------------------------------------------------
+
+std::vector<std::uint64_t> PeerCache::cached_lbns() const {
+  std::vector<std::uint64_t> out;
+  if (ncache_) {
+    for (const netbuf::LbnKey& key : ncache_->cache().lbn_keys()) {
+      if (key.target == config_.target_id) out.push_back(key.lbn);
+    }
+  }
+  if (fs_) {
+    for (std::uint64_t lbn : fs_->cache().cached_data_lbns()) {
+      out.push_back(lbn);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void PeerCache::run_repair() {
+  if (!running_ || !config_.enabled || fenced_) return;
+  ++stats_.repair_rounds;
+  std::vector<std::uint64_t> lbns = cached_lbns();
+  if (lbns.empty()) return;
+
+  // Group each cached LBN under the peer responsible for checking it: the
+  // ring owner, or — for extents we own ourselves — the lowest-id other
+  // live member (someone must cross-check the owner too). std::map keeps
+  // the peer iteration order deterministic.
+  std::map<std::uint32_t, std::vector<std::uint64_t>> per_peer;
+  for (std::uint64_t lbn : lbns) {
+    std::uint32_t peer = owner_of(lbn);
+    if (peer == config_.self_id) {
+      peer = config_.self_id;
+      for (std::uint32_t id : ring_.members()) {  // sorted
+        if (id != config_.self_id) {
+          peer = id;
+          break;
+        }
+      }
+      if (peer == config_.self_id) continue;  // alone in the ring
+    }
+    if (!live_.contains(peer) || !peer_ip(peer)) continue;
+    per_peer[peer].push_back(lbn);
+  }
+
+  for (auto& [peer, list] : per_peer) {
+    for (std::size_t off = 0; off < list.size(); off += kDigestBatch) {
+      std::size_t n = std::min(kDigestBatch, list.size() - off);
+      std::uint32_t seq = next_seq_++;
+      std::vector<std::byte> head;
+      ByteWriter w(head);
+      w.u32(std::uint32_t(PeerMsg::DigestRequest));
+      w.u32(config_.self_id);
+      w.u32(epoch_);
+      w.u32(seq);
+      w.u32(std::uint32_t(n));
+      for (std::size_t i = 0; i < n; ++i) {
+        w.u64(list[off + i]);
+        w.u64(version_of(list[off + i]));
+      }
+      // The DIGEST_REPLY doubles as the ack; until every reply is in,
+      // repairing() fences our own serving.
+      send_reliable(peer, seq, /*digest=*/true, head);
+      ++stats_.digests_sent;
+    }
+  }
+}
+
+// ---- local cache plumbing ----------------------------------------------------
+
+bool PeerCache::drop_local(std::uint64_t lbn) {
+  bool dropped = false;
+  if (fs_ && fs_->cache().discard(lbn)) dropped = true;
+  if (ncache_ && ncache_->cache().invalidate_lbn(
+                     netbuf::LbnKey{config_.target_id, lbn})) {
+    dropped = true;
+  }
+  return dropped;
 }
 
 std::optional<MsgBuffer> PeerCache::local_block(std::uint64_t lbn) {
@@ -191,6 +404,8 @@ std::optional<MsgBuffer> PeerCache::local_block(std::uint64_t lbn) {
   return std::nullopt;
 }
 
+// ---- datagram dispatch -------------------------------------------------------
+
 void PeerCache::on_datagram(proto::Ipv4Addr src_ip, std::uint16_t src_port,
                             proto::Ipv4Addr dst_ip, std::uint16_t /*dst_port*/,
                             MsgBuffer msg) {
@@ -200,8 +415,8 @@ void PeerCache::on_datagram(proto::Ipv4Addr src_ip, std::uint16_t src_port,
   auto type = PeerMsg(tr.u32());
   switch (type) {
     case PeerMsg::Fetch: {
-      if (msg.size() < 20) return;
-      auto bytes = msg.peek_bytes(20);
+      if (msg.size() < kFetchHeadBytes) return;
+      auto bytes = msg.peek_bytes(kFetchHeadBytes);
       ByteReader head(bytes);
       head.skip(4);
       handle_fetch(src_ip, src_port, dst_ip, head);
@@ -209,10 +424,25 @@ void PeerCache::on_datagram(proto::Ipv4Addr src_ip, std::uint16_t src_port,
     }
     case PeerMsg::FetchReply: {
       if (msg.size() < kFetchReplyHeadBytes) return;
-      auto bytes = msg.peek_bytes(kFetchReplyHeadBytes);
+      // Only the header (+ optional version array) is guaranteed physical
+      // — the payload may be a logical key-bearing chain, so peek, never
+      // flatten. The version array is omitted while all-zero; datagram
+      // size tells the layouts apart (payload is a whole multiple of the
+      // block size).
+      auto cb = msg.peek_bytes(kFetchReplyHeadBytes);
+      ByteReader cr(cb);
+      cr.skip(12);
+      std::uint32_t count = cr.u32();
+      if (count > kExtentBlocks) return;
+      bool stamped =
+          count > 0 && msg.size() != kFetchReplyHeadBytes +
+                                         std::size_t(count) * fs::kBlockSize;
+      std::size_t head_bytes =
+          kFetchReplyHeadBytes + (stamped ? 8 * std::size_t(count) : 0);
+      auto bytes = msg.peek_bytes(std::min(msg.size(), head_bytes));
       ByteReader head(bytes);
       head.skip(4);
-      handle_fetch_reply(head, msg);
+      handle_fetch_reply(head, msg, stamped);
       return;
     }
     case PeerMsg::Invalidate: {
@@ -222,12 +452,35 @@ void PeerCache::on_datagram(proto::Ipv4Addr src_ip, std::uint16_t src_port,
       handle_invalidate(head);
       return;
     }
-    case PeerMsg::Transfer: {
-      if (msg.size() < kTransferHeadBytes) return;
-      auto bytes = msg.peek_bytes(kTransferHeadBytes);
+    case PeerMsg::InvalidateAck: {
+      if (msg.size() < 12) return;
+      auto bytes = msg.peek_bytes(12);
       ByteReader head(bytes);
       head.skip(4);
-      handle_transfer(head, msg);
+      handle_invalidate_ack(head);
+      return;
+    }
+    case PeerMsg::Transfer: {
+      if (msg.size() < kTransferHeadBytes) return;
+      // Peek exactly header + version array (both physical); the payload
+      // may be a logical chain and must not be flattened here. The stamp
+      // array is optional (omitted while every version is 0) — datagram
+      // size tells the layouts apart, unambiguously because the payload
+      // is a whole multiple of the block size.
+      auto cb = msg.peek_bytes(kTransferHeadBytes);
+      ByteReader cr(cb);
+      cr.skip(12);
+      std::uint32_t count = cr.u32();
+      if (count == 0 || count > kExtentBlocks) return;
+      bool stamped =
+          msg.size() != kTransferHeadBytes + std::size_t(count) * fs::kBlockSize;
+      std::size_t head_bytes =
+          kTransferHeadBytes + (stamped ? 8 * std::size_t(count) : 0);
+      if (msg.size() < head_bytes) return;
+      auto bytes = msg.peek_bytes(head_bytes);
+      ByteReader head(bytes);
+      head.skip(4);
+      handle_transfer(head, msg, stamped);
       return;
     }
     case PeerMsg::Membership: {
@@ -235,6 +488,20 @@ void PeerCache::on_datagram(proto::Ipv4Addr src_ip, std::uint16_t src_port,
       ByteReader head(bytes);
       head.skip(4);
       handle_membership(head);
+      return;
+    }
+    case PeerMsg::DigestRequest: {
+      auto bytes = msg.to_bytes();
+      ByteReader head(bytes);
+      head.skip(4);
+      handle_digest_request(head);
+      return;
+    }
+    case PeerMsg::DigestReply: {
+      auto bytes = msg.to_bytes();
+      ByteReader head(bytes);
+      head.skip(4);
+      handle_digest_reply(head);
       return;
     }
     case PeerMsg::Heartbeat: {
@@ -262,11 +529,25 @@ void PeerCache::handle_fetch(proto::Ipv4Addr src_ip, std::uint16_t src_port,
   std::uint32_t seq = head.u32();
   std::uint64_t lbn = head.u64();
   std::uint32_t count = head.u32();
+  std::uint32_t req_epoch = head.u32();
+
+  // Fences first. A fenced or mid-repair agent must not serve at all; a
+  // requester ahead of our epoch proves we missed a ring change (our
+  // ownership view is suspect); and an extent the *current* local ring
+  // assigns elsewhere is not ours to serve even if cached.
+  bool refuse = false;
+  if (fenced_ || repair_outstanding_ > 0 || epoch_newer(req_epoch, epoch_)) {
+    ++stats_.fenced_refusals;
+    refuse = true;
+  } else if (!is_owner(lbn)) {
+    ++stats_.ownership_refusals;
+    refuse = true;
+  }
 
   MsgBuffer payload;
   // Fetches are extent-sized by construction (the block client splits
   // multi-extent runs), which also keeps every reply one legal datagram.
-  bool all = count > 0 && count <= kExtentBlocks;
+  bool all = !refuse && count > 0 && count <= kExtentBlocks;
   for (std::uint32_t i = 0; all && i < count; ++i) {
     auto blk = local_block(lbn + i);
     if (!blk) {
@@ -282,6 +563,14 @@ void PeerCache::handle_fetch(proto::Ipv4Addr src_ip, std::uint16_t src_port,
   w.u32(seq);
   w.u32(all ? 1 : 0);
   w.u32(all ? count : 0);
+  if (all && versions_stamped(lbn, count)) {
+    // Per-block versions: the requester rejects anything behind what it
+    // already knows, so a stale-but-unfenced server cannot poison it.
+    // All-zero stamps are omitted (the requester infers zeros from the
+    // datagram size), keeping never-written traffic byte-identical to a
+    // version-less cluster.
+    for (std::uint32_t i = 0; i < count; ++i) w.u64(version_of(lbn + i));
+  }
   sock::UdpSocket::Endpoint ep{dst_ip, src_ip, src_port};
   if (all) {
     ++stats_.serve_hits;
@@ -294,49 +583,100 @@ void PeerCache::handle_fetch(proto::Ipv4Addr src_ip, std::uint16_t src_port,
   }
 }
 
-void PeerCache::handle_fetch_reply(ByteReader& head, const MsgBuffer& msg) {
+void PeerCache::handle_fetch_reply(ByteReader& head, const MsgBuffer& msg,
+                                   bool stamped) {
   std::uint32_t seq = head.u32();
   std::uint32_t hit = head.u32();
   std::uint32_t count = head.u32();
   auto it = pending_.find(seq);
   if (it == pending_.end()) return;  // timed out; late reply dropped
-  auto fn = std::move(it->second);
+  PendingFetch pf = std::move(it->second);
   pending_.erase(it);
+  std::size_t head_bytes =
+      kFetchReplyHeadBytes + (stamped ? std::size_t(count) * 8 : 0);
   std::size_t want = std::size_t(count) * fs::kBlockSize;
-  if (hit != 0 && count > 0 && msg.size() == kFetchReplyHeadBytes + want) {
+  if (hit != 0 && count > 0 && count <= kExtentBlocks && count == pf.count &&
+      msg.size() == head_bytes + want) {
+    // Version gate: if any block in the reply lags a version we already
+    // know about, the server missed an invalidate — reject the whole
+    // extent and let the requester fall through to the target. An
+    // unstamped reply means the server knows only version 0 everywhere.
+    bool stale = false;
+    std::vector<std::uint64_t> vers(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      vers[i] = stamped ? head.u64() : 0;
+      if (vers[i] < version_of(pf.lbn + i)) stale = true;
+    }
+    if (stale) {
+      ++stats_.stale_replies_rejected;
+      ++stats_.peer_misses;
+      pf.fn(std::nullopt);
+      return;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (vers[i] > version_of(pf.lbn + i)) versions_[pf.lbn + i] = vers[i];
+    }
     ++stats_.peer_hits;
-    fn(msg.slice(kFetchReplyHeadBytes, want));
+    pf.fn(msg.slice(head_bytes, want));
   } else {
     ++stats_.peer_misses;
-    fn(std::nullopt);
+    pf.fn(std::nullopt);
   }
 }
 
 void PeerCache::handle_invalidate(ByteReader& head) {
-  ++stats_.invalidates_received;
+  std::uint32_t writer = head.u32();
+  head.u32();  // writer's epoch (informational)
+  std::uint32_t seq = head.u32();
   std::uint32_t n = head.u32();
-  for (std::uint32_t i = 0; i < n && head.remaining() >= 8; ++i) {
+  ++stats_.invalidates_received;
+  for (std::uint32_t i = 0; i < n && head.remaining() >= 16; ++i) {
     std::uint64_t lbn = head.u64();
-    bool dropped = false;
-    if (fs_ && fs_->cache().discard(lbn)) dropped = true;
-    if (ncache_ && ncache_->cache().invalidate_lbn(
-                       netbuf::LbnKey{config_.target_id, lbn})) {
-      dropped = true;
-    }
-    if (dropped) ++stats_.blocks_invalidated;
+    std::uint64_t v = head.u64();
+    // Version max-merge: retransmitted duplicates and reordered
+    // broadcasts change nothing once the newest version is recorded.
+    if (v <= version_of(lbn)) continue;
+    versions_[lbn] = v;
+    if (drop_local(lbn)) ++stats_.blocks_invalidated;
+  }
+  if (peer_ip(writer)) {
+    std::vector<std::byte> ack;
+    ByteWriter w(ack);
+    w.u32(std::uint32_t(PeerMsg::InvalidateAck));
+    w.u32(config_.self_id);
+    w.u32(seq);
+    sock_.send_meta(peer_endpoint(writer), ack);
   }
 }
 
-void PeerCache::handle_transfer(ByteReader& head, const MsgBuffer& msg) {
+void PeerCache::handle_invalidate_ack(ByteReader& head) {
+  std::uint32_t acker = head.u32();
+  std::uint32_t seq = head.u32();
+  ++stats_.invalidate_acks;
+  ack_reliable(acker, seq);
+}
+
+void PeerCache::handle_transfer(ByteReader& head, const MsgBuffer& msg,
+                                bool stamped) {
   if (!ncache_) return;  // nothing to ingest into (Original mode)
   std::uint64_t lbn = head.u64();
   std::uint32_t count = head.u32();
+  std::size_t head_bytes =
+      kTransferHeadBytes + (stamped ? std::size_t(count) * 8 : 0);
   std::size_t want = std::size_t(count) * fs::kBlockSize;
-  if (count == 0 || msg.size() != kTransferHeadBytes + want) return;
+  if (count == 0 || count > kExtentBlocks ||
+      msg.size() != head_bytes + want) {
+    return;
+  }
   ++stats_.transfers_received;
-  MsgBuffer payload = msg.slice(kTransferHeadBytes, want);
+  MsgBuffer payload = msg.slice(head_bytes, want);
   if (!payload.fully_physical()) return;  // junk/unresolved keys: drop
   for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t v = stamped ? head.u64() : 0;
+    // A push carrying an older version than we know about is stale bytes
+    // from before a write we already heard of — drop that block.
+    if (v < version_of(lbn + i)) continue;
+    if (v > version_of(lbn + i)) versions_[lbn + i] = v;
     // Ingest and discard the key message — nothing travels up here; the
     // point is populating the owner's cache for future fetches.
     (void)ncache_->ingest_lbn(config_.target_id, lbn + i,
@@ -354,6 +694,59 @@ void PeerCache::handle_membership(ByteReader& head) {
     live.push_back(head.u32());
   }
   apply_membership(epoch, live);
+}
+
+void PeerCache::handle_digest_request(ByteReader& head) {
+  std::uint32_t requester = head.u32();
+  head.u32();  // requester's epoch (informational)
+  std::uint32_t seq = head.u32();
+  std::uint32_t n = head.u32();
+  if (!peer_ip(requester)) return;
+
+  // Two-way reconciliation: versions the requester is ahead on are
+  // max-merged (and our stale copies dropped) right here; versions we are
+  // ahead on go back in the reply.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> newer;
+  for (std::uint32_t i = 0; i < n && head.remaining() >= 16; ++i) {
+    std::uint64_t lbn = head.u64();
+    std::uint64_t v = head.u64();
+    std::uint64_t mine = version_of(lbn);
+    if (v > mine) {
+      versions_[lbn] = v;
+      if (drop_local(lbn)) ++stats_.repair_drops;
+    } else if (mine > v) {
+      newer.push_back({lbn, mine});
+    }
+  }
+
+  std::vector<std::byte> reply;
+  ByteWriter w(reply);
+  w.u32(std::uint32_t(PeerMsg::DigestReply));
+  w.u32(config_.self_id);
+  w.u32(seq);
+  w.u32(std::uint32_t(newer.size()));
+  for (auto& [lbn, v] : newer) {
+    w.u64(lbn);
+    w.u64(v);
+  }
+  ++stats_.digests_answered;
+  // The reply is the ack for the (reliable) request; a lost reply just
+  // provokes an idempotent re-request.
+  sock_.send_meta(peer_endpoint(requester), reply);
+}
+
+void PeerCache::handle_digest_reply(ByteReader& head) {
+  std::uint32_t replier = head.u32();
+  std::uint32_t seq = head.u32();
+  std::uint32_t n = head.u32();
+  ack_reliable(replier, seq);
+  for (std::uint32_t i = 0; i < n && head.remaining() >= 16; ++i) {
+    std::uint64_t lbn = head.u64();
+    std::uint64_t v = head.u64();
+    if (v <= version_of(lbn)) continue;
+    versions_[lbn] = v;
+    if (drop_local(lbn)) ++stats_.repair_drops;
+  }
 }
 
 void PeerCache::register_metrics(MetricRegistry& registry,
@@ -385,9 +778,35 @@ void PeerCache::register_metrics(MetricRegistry& registry,
                    [this] { return stats_.membership_updates; });
   registry.counter(node, "peer.heartbeats_answered",
                    [this] { return stats_.heartbeats_answered; });
+  registry.counter(node, "peer.retransmits",
+                   [this] { return stats_.retransmits; });
+  registry.counter(node, "peer.invalidate_acks",
+                   [this] { return stats_.invalidate_acks; });
+  registry.counter(node, "peer.pending_overflow",
+                   [this] { return stats_.pending_overflow; });
+  registry.counter(node, "peer.reliable_expired",
+                   [this] { return stats_.reliable_expired; });
+  registry.counter(node, "peer.fenced_refusals",
+                   [this] { return stats_.fenced_refusals; });
+  registry.counter(node, "peer.ownership_refusals",
+                   [this] { return stats_.ownership_refusals; });
+  registry.counter(node, "peer.stale_replies_rejected",
+                   [this] { return stats_.stale_replies_rejected; });
+  registry.counter(node, "peer.stale_epoch_ignored",
+                   [this] { return stats_.stale_epoch_ignored; });
+  registry.counter(node, "peer.digests_sent",
+                   [this] { return stats_.digests_sent; });
+  registry.counter(node, "peer.digests_answered",
+                   [this] { return stats_.digests_answered; });
+  registry.counter(node, "peer.repair_drops",
+                   [this] { return stats_.repair_drops; });
+  registry.counter(node, "peer.repair_rounds",
+                   [this] { return stats_.repair_rounds; });
   registry.gauge(node, "peer.ring_members",
                  [this] { return double(ring_.member_count()); });
   registry.gauge(node, "peer.epoch", [this] { return double(epoch_); });
+  registry.gauge(node, "peer.pending_reliable",
+                 [this] { return double(reliable_.size()); });
   registry.on_reset([this] { reset_stats(); });
 }
 

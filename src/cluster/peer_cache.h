@@ -8,17 +8,37 @@
 //   * FETCH / FETCH_REPLY — the requester names an LBN run; the owner
 //     answers from its network-centric cache (or its fs buffer cache) with
 //     the wire-format chain as a logical copy, or reports a miss. Only a
-//     peer miss falls through to the target.
+//     peer miss falls through to the target. The request carries the
+//     requester's membership epoch and the reply carries per-block
+//     versions, so a stale peer on either end of a healed partition can
+//     never inject old bytes: the server refuses requests from a newer
+//     epoch than its own (it may have missed a ring change — "fencing"),
+//     and the requester rejects replies whose versions lag what it knows.
 //   * TRANSFER — unsolicited chunk push: after a target read the requester
-//     pushes the bytes to the hash owner (so the next replica's miss hits),
-//     and after a membership change each replica re-homes chunks the new
-//     ring assigns elsewhere.
-//   * INVALIDATE — write coherence: the replica that served an NFS WRITE
-//     flushes, then broadcasts the dirtied LBNs; every peer drops its
-//     copies (fs cache and NCache both). Replicas converge within one
-//     flush+invalidate round.
+//     pushes the bytes (version-stamped) to the hash owner, and after a
+//     membership change each replica re-homes chunks the new ring assigns
+//     elsewhere. Stale pushes are dropped by the version check.
+//   * INVALIDATE / INVALIDATE_ACK — write coherence: the replica that
+//     served an NFS WRITE flushes, bumps each dirtied LBN's version, then
+//     broadcasts (lbn, version) pairs to every configured peer.
+//     Invalidation is *reliable*: each datagram is retransmitted with
+//     capped exponential backoff until the peer acks, from a bounded
+//     pending set — a peer behind a network partition converges as soon
+//     as the cut heals, because the retransmissions are still flowing.
+//     Applying an invalidate is a version max-merge, so duplicates and
+//     reorderings are harmless.
+//   * DIGEST_REQUEST / DIGEST_REPLY — anti-entropy repair: after a
+//     partition heals (epoch gap observed, or an explicit run_repair()),
+//     a replica sends (lbn, version) digests of everything it caches to
+//     the responsible peers; both sides max-merge and drop blocks the
+//     other proves stale. While its own digests are outstanding a replica
+//     refuses to serve fetches — repair is a fence too.
 //   * MEMBERSHIP — epoch-numbered live-set broadcasts from the load
-//     balancer; each agent rebuilds its ring identically.
+//     balancer; each agent rebuilds its ring identically. Epochs compare
+//     with serial-number (RFC 1982) arithmetic so the u32 counter wraps
+//     seamlessly. An agent that finds itself excluded from the newest
+//     live set it has seen is *fenced*: it refuses to serve extents it no
+//     longer owns until a newer epoch re-admits it.
 //   * HEARTBEAT / HEARTBEAT_ACK — the balancer's liveness probe.
 //
 // All messages ride the existing proto/sock stack; payloads go through the
@@ -26,6 +46,8 @@
 // owner's boundaries as a logical copy and materializes at its NIC.
 #pragma once
 
+#include <functional>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -55,6 +77,9 @@ enum class PeerMsg : std::uint32_t {
   Membership = 5,
   Heartbeat = 6,
   HeartbeatAck = 7,
+  InvalidateAck = 8,
+  DigestRequest = 9,
+  DigestReply = 10,
 };
 
 struct Peer {
@@ -78,6 +103,19 @@ struct PeerCacheStats {
   std::uint64_t blocks_transferred = 0;  ///< rebalance re-homing, sent side
   std::uint64_t membership_updates = 0;  ///< epoch advances applied
   std::uint64_t heartbeats_answered = 0;
+  // --- reliability / partition tolerance ---
+  std::uint64_t retransmits = 0;        ///< reliable-datagram resends
+  std::uint64_t invalidate_acks = 0;    ///< acks received (sender side)
+  std::uint64_t pending_overflow = 0;   ///< reliable entries evicted (full set)
+  std::uint64_t reliable_expired = 0;   ///< entries dropped at the retry cap
+  std::uint64_t fenced_refusals = 0;    ///< fetches refused while fenced/repairing
+  std::uint64_t ownership_refusals = 0; ///< fetches refused: not owner locally
+  std::uint64_t stale_replies_rejected = 0;  ///< fetch replies behind known versions
+  std::uint64_t stale_epoch_ignored = 0;     ///< membership broadcasts ignored
+  std::uint64_t digests_sent = 0;       ///< DIGEST_REQUEST datagrams
+  std::uint64_t digests_answered = 0;   ///< DIGEST_REPLY datagrams sent
+  std::uint64_t repair_drops = 0;       ///< blocks dropped by anti-entropy
+  std::uint64_t repair_rounds = 0;      ///< run_repair() passes started
 };
 
 /// One replica's peering agent. Construct, `attach()` the caches once they
@@ -97,6 +135,15 @@ class PeerCache {
     /// burst on the wire).
     std::size_t max_transfer_blocks = 256;
     int vnodes = 64;
+    /// Reliable-invalidate retransmission: first backoff, doubling to the
+    /// cap, giving up after `reliable_max_attempts` sends (anti-entropy
+    /// repair is the backstop for partitions outlasting the budget).
+    sim::Duration reliable_backoff = 5 * sim::kMillisecond;
+    sim::Duration reliable_backoff_cap = 80 * sim::kMillisecond;
+    int reliable_max_attempts = 40;
+    /// Bound on simultaneously un-acked reliable datagrams; the oldest is
+    /// evicted (and counted) when a new one would exceed it.
+    std::size_t max_pending_reliable = 1024;
   };
 
   PeerCache(proto::NetworkStack& stack, Config config, std::vector<Peer> peers);
@@ -119,7 +166,7 @@ class PeerCache {
   }
 
   /// Asks the owner of `lbn` for `count` blocks. Resolves with the
-  /// payload chain on a peer hit, nullopt on miss/timeout.
+  /// payload chain on a peer hit, nullopt on miss/timeout/stale reply.
   Task<std::optional<netbuf::MsgBuffer>> fetch(std::uint64_t lbn,
                                                std::uint32_t count);
 
@@ -128,15 +175,38 @@ class PeerCache {
   void push_to_owner(std::uint64_t lbn, std::uint32_t count,
                      const netbuf::MsgBuffer& chain);
 
-  /// Write coherence: tells every live peer to drop these LBNs.
+  /// Write coherence: bumps each LBN's version and reliably tells every
+  /// configured peer (dead or partitioned ones included — retransmission
+  /// drains once they are reachable) to drop its copies.
   void broadcast_invalidate(const std::vector<std::uint32_t>& lbns);
 
-  /// Applies an epoch-numbered live set (stale epochs ignored), then
-  /// re-homes cached chunks the new ring assigns to other live members.
+  /// Applies an epoch-numbered live set (serially-stale epochs ignored),
+  /// re-homes cached chunks the new ring assigns to other live members,
+  /// and — after rejoining from a fence or observing an epoch gap —
+  /// starts an anti-entropy repair pass.
   void apply_membership(std::uint32_t epoch,
                         const std::vector<std::uint32_t>& live);
 
+  /// Anti-entropy: digests every cached extent to the peer responsible
+  /// for it under the current ring (the owner, or the lowest-id other
+  /// live member for self-owned extents) and reconciles versions both
+  /// ways. Invoked automatically on epoch-gap rejoin; balancer-less
+  /// worlds (presets::cluster_racks) call it explicitly after a heal.
+  void run_repair();
+
   std::uint32_t epoch() const noexcept { return epoch_; }
+  /// True while excluded from the newest live set seen (must not serve).
+  bool fenced() const noexcept { return fenced_; }
+  /// True while repair digests are outstanding (also refuses serving).
+  bool repairing() const noexcept { return repair_outstanding_ > 0; }
+  /// Un-acked reliable datagrams (0 = the cluster has converged as far as
+  /// this sender can tell).
+  std::size_t pending_reliable() const noexcept { return reliable_.size(); }
+  /// Known version of one LBN (0 = never written/invalidated).
+  std::uint64_t version_of(std::uint64_t lbn) const {
+    auto it = versions_.find(lbn);
+    return it == versions_.end() ? 0 : it->second;
+  }
   const HashRing& ring() const noexcept { return ring_; }
   const Config& config() const noexcept { return config_; }
   const PeerCacheStats& stats() const noexcept { return stats_; }
@@ -146,15 +216,54 @@ class PeerCache {
   void register_metrics(MetricRegistry& registry, const std::string& node);
 
  private:
+  struct PendingFetch {
+    std::uint64_t lbn = 0;
+    std::uint32_t count = 0;
+    std::function<void(std::optional<netbuf::MsgBuffer>)> fn;
+  };
+  /// One un-acked reliable datagram (INVALIDATE or DIGEST_REQUEST).
+  struct Reliable {
+    std::uint32_t peer = 0;
+    std::uint32_t seq = 0;
+    bool digest = false;  ///< DIGEST_REQUEST: the reply acts as the ack
+    int attempts = 1;     ///< sends so far
+    sim::Duration backoff{};
+    std::vector<std::byte> payload;
+  };
+
   void on_datagram(proto::Ipv4Addr src_ip, std::uint16_t src_port,
                    proto::Ipv4Addr dst_ip, std::uint16_t dst_port,
                    netbuf::MsgBuffer msg);
   void handle_fetch(proto::Ipv4Addr src_ip, std::uint16_t src_port,
                     proto::Ipv4Addr dst_ip, ByteReader& head);
-  void handle_fetch_reply(ByteReader& head, const netbuf::MsgBuffer& msg);
+  void handle_fetch_reply(ByteReader& head, const netbuf::MsgBuffer& msg,
+                          bool stamped);
   void handle_invalidate(ByteReader& head);
-  void handle_transfer(ByteReader& head, const netbuf::MsgBuffer& msg);
+  void handle_transfer(ByteReader& head, const netbuf::MsgBuffer& msg,
+                       bool stamped);
   void handle_membership(ByteReader& head);
+  void handle_invalidate_ack(ByteReader& head);
+  void handle_digest_request(ByteReader& head);
+  void handle_digest_reply(ByteReader& head);
+
+  /// Registers `payload` for at-least-once delivery to `peer` and sends
+  /// the first copy; retransmits with capped backoff until acked.
+  void send_reliable(std::uint32_t peer, std::uint32_t seq, bool digest,
+                     const std::vector<std::byte>& payload);
+  void retransmit(std::uint64_t ticket);
+  void ack_reliable(std::uint32_t peer, std::uint32_t seq);
+  void erase_reliable(std::map<std::uint64_t, Reliable>::iterator it);
+
+  /// True when any of the `count` blocks from `lbn` has a nonzero
+  /// version — i.e. the run has seen a write and stamps must go on the
+  /// wire (all-zero stamp arrays are omitted from TRANSFER/FETCH_REPLY).
+  bool versions_stamped(std::uint64_t lbn, std::uint32_t count) const;
+
+  /// Drops every local copy of `lbn` (fs cache and NCache). Returns
+  /// whether anything was resident.
+  bool drop_local(std::uint64_t lbn);
+  /// Every regular-data LBN this node caches, ascending (fs ∪ ncache).
+  std::vector<std::uint64_t> cached_lbns() const;
 
   /// One block from the local caches in wire-ready physical form, or
   /// nullopt (serving never touches the target — that is the requester's
@@ -174,12 +283,23 @@ class PeerCache {
   HashRing ring_;
   std::unordered_set<std::uint32_t> live_;
   std::uint32_t epoch_ = 0;
+  bool fenced_ = false;
+
+  /// Per-LBN write versions, max-merged from INVALIDATE / fetch replies /
+  /// digests. Monotone, so every apply order converges to the same map.
+  std::unordered_map<std::uint64_t, std::uint64_t> versions_;
 
   bool running_ = false;
   std::uint32_t next_seq_ = 1;
-  std::unordered_map<std::uint32_t,
-                     std::function<void(std::optional<netbuf::MsgBuffer>)>>
-      pending_;
+  std::unordered_map<std::uint32_t, PendingFetch> pending_;
+
+  /// Reliable-delivery window: ticket -> entry, insertion-ordered so the
+  /// bound evicts oldest-first; the index maps (peer,seq) to tickets for
+  /// O(1) acks.
+  std::map<std::uint64_t, Reliable> reliable_;
+  std::unordered_map<std::uint64_t, std::uint64_t> reliable_index_;
+  std::uint64_t next_ticket_ = 1;
+  std::size_t repair_outstanding_ = 0;  ///< pending digest entries
 
   PeerCacheStats stats_;
 };

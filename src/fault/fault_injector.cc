@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/metrics.h"
 
 namespace ncache::fault {
@@ -31,6 +32,28 @@ void FaultInjector::duplex_down(sim::DuplexLink& cable, sim::Time at,
                                 sim::Duration duration) {
   link_down(cable.a_to_b, at, duration);
   link_down(cable.b_to_a, at, duration);
+}
+
+void FaultInjector::partition(const Partition& p, sim::Time at,
+                              sim::Duration duration) {
+  ++stats_.partitions_armed;
+  NC_WARN("fault", "partition '%s': %zu cuts at %llu ns for %llu ns",
+          p.name.c_str(), p.cuts.size(), (unsigned long long)at,
+          (unsigned long long)duration);
+  for (const Partition::Cut& c : p.cuts) {
+    if (!c.link) continue;
+    ++stats_.partition_cuts;
+    sim::EventLoop& lp = c.loop ? *c.loop : loop_;
+    sim::Link* l = c.link;
+    // The fired lambdas only flip the admin flag — in a multi-domain
+    // world they run on the owning domain's worker thread, so they must
+    // not touch injector state (stats are arm-time, above).
+    lp.schedule_at(std::max(at, lp.now()), [l] { l->set_admin_up(false); });
+    if (duration > 0) {
+      lp.schedule_at(std::max(at + duration, lp.now()),
+                     [l] { l->set_admin_up(true); });
+    }
+  }
 }
 
 void FaultInjector::burst_loss(sim::Link& link, sim::Time at,
@@ -74,6 +97,10 @@ void FaultInjector::register_metrics(MetricRegistry& registry,
   registry.counter(node, "fault.link_ups", [this] { return stats_.link_ups; });
   registry.counter(node, "fault.burst_windows",
                    [this] { return stats_.burst_windows; });
+  registry.counter(node, "fault.partitions_armed",
+                   [this] { return stats_.partitions_armed; });
+  registry.counter(node, "fault.partition_cuts",
+                   [this] { return stats_.partition_cuts; });
   registry.counter(node, "fault.frames_dropped",
                    [this] { return frames_dropped(); });
 }
@@ -108,6 +135,14 @@ FaultPlan& FaultPlan::duplex_burst_loss(sim::DuplexLink& cable, sim::Time at,
                                         GilbertElliott::Params params) {
   entries_.push_back([&cable, at, duration, params](FaultInjector& inj) {
     inj.duplex_burst_loss(cable, at, duration, params);
+  });
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(Partition p, sim::Time at,
+                                sim::Duration duration) {
+  entries_.push_back([p = std::move(p), at, duration](FaultInjector& inj) {
+    inj.partition(p, at, duration);
   });
   return *this;
 }

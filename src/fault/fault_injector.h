@@ -33,6 +33,29 @@ struct FaultStats {
   std::uint64_t link_downs = 0;    ///< admin-down transitions applied
   std::uint64_t link_ups = 0;      ///< admin-up (recovery) transitions
   std::uint64_t burst_windows = 0; ///< GE windows armed
+  std::uint64_t partitions_armed = 0;  ///< Partition windows scheduled
+  std::uint64_t partition_cuts = 0;    ///< link directions those windows cut
+};
+
+/// A network partition: the set of unidirectional link cuts that isolates
+/// one side of a topology. Built by hand or — the usual path — resolved
+/// from topology node/rack ids by `topo::World::make_partition`, which
+/// knows which trunks and host cables cross the boundary. A symmetric
+/// partition lists both directions of every crossing link; an asymmetric
+/// (one-way) partition lists only the directions delivering *into* the
+/// losing side, modelling a link that still carries traffic out but
+/// delivers nothing back.
+struct Partition {
+  struct Cut {
+    sim::Link* link = nullptr;
+    /// The event loop that owns the link's transmitting side. In a
+    /// partitioned (multi-domain) world admin toggles must execute on
+    /// that loop — scheduling them cross-domain would race the engine's
+    /// workers. Null = the injector's own loop (single-loop worlds).
+    sim::EventLoop* loop = nullptr;
+  };
+  std::string name;  ///< for logs ("rack1", "server2+server3 one-way", ...)
+  std::vector<Cut> cuts;
 };
 
 class FaultInjector {
@@ -51,6 +74,15 @@ class FaultInjector {
   /// Both directions of a cable — the usual "cable pulled" flap.
   void duplex_down(sim::DuplexLink& cable, sim::Time at,
                    sim::Duration duration);
+
+  /// Cuts every link direction in `p` for [at, at+duration); duration 0
+  /// cuts without healing (the plan must heal explicitly). Each toggle is
+  /// scheduled on the cut's owning loop, so partitions compose with the
+  /// ParallelEngine: arming happens before the engine runs (single
+  /// threaded), and at fire time each domain flips only its own links.
+  /// Stats are counted at arm time for the same reason — worker threads
+  /// never touch the injector.
+  void partition(const Partition& p, sim::Time at, sim::Duration duration);
 
   /// Gilbert–Elliott burst loss on `link` during [at, at+duration). The
   /// stream's RNG seeds from (injector seed, stream ordinal), so adding a
@@ -89,6 +121,9 @@ class FaultPlan {
   FaultPlan& duplex_burst_loss(sim::DuplexLink& cable, sim::Time at,
                                sim::Duration duration,
                                GilbertElliott::Params params);
+  /// Cut-then-heal window over a resolved Partition (copied into the
+  /// plan, so the Partition value may be a temporary).
+  FaultPlan& partition(Partition p, sim::Time at, sim::Duration duration);
   /// Arbitrary scripted action (node crash, disk fault, ...).
   FaultPlan& action(sim::Time at, std::function<void()> fn);
 

@@ -318,6 +318,16 @@ bool BufferCache::discard(std::uint64_t lbn) {
   return true;
 }
 
+std::vector<std::uint64_t> BufferCache::cached_data_lbns() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(map_.size());
+  for (const auto& [lbn, b] : map_) {
+    if (b->valid && !b->metadata) out.push_back(lbn);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 void BufferCache::register_metrics(MetricRegistry& registry,
                                    const std::string& node) {
   registry.counter(node, "fscache.hits", [this] { return stats_.hits; });

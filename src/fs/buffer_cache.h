@@ -109,6 +109,12 @@ class BufferCache {
   /// target, so whatever this cache holds is stale). Returns whether the
   /// block was resident. External holders keep their (stale) pins.
   bool discard(std::uint64_t lbn);
+
+  /// Ascending LBNs of every resident, valid regular-data block. The
+  /// anti-entropy repair pass enumerates these for digest exchange;
+  /// metadata blocks never peer (§3.3) and are excluded.
+  std::vector<std::uint64_t> cached_data_lbns() const;
+
   std::size_t size() const noexcept { return map_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }
   void set_capacity(std::size_t blocks) noexcept { capacity_ = blocks; }

@@ -98,8 +98,9 @@ class SlabCache {
 /// control blocks the same way SlabCache recycles buffer storage. The
 /// list is thread-local (parallel-engine workers each recycle their own
 /// blocks; a block freed on another thread just migrates lists), holds at
-/// most the type's high-water live count per thread, and stays reachable
-/// through the list head until the thread exits.
+/// most the type's high-water live count per thread, and is freed when
+/// the thread exits — blocks deallocated during thread teardown, after
+/// the list's own destructor has run, go straight back to the heap.
 template <typename T>
 struct RecyclingAllocator {
   using value_type = T;
@@ -111,10 +112,10 @@ struct RecyclingAllocator {
   T* allocate(std::size_t n) {
     static_assert(sizeof(T) >= sizeof(void*));
     if (n == 1) {
-      void*& head = free_head();
-      if (head) {
-        void* p = head;
-        head = *static_cast<void**>(p);
+      FreeList& list = free_list();
+      if (list.head) {
+        void* p = list.head;
+        list.head = *static_cast<void**>(p);
         return static_cast<T*>(p);
       }
     }
@@ -123,10 +124,12 @@ struct RecyclingAllocator {
 
   void deallocate(T* p, std::size_t n) noexcept {
     if (n == 1) {
-      void*& head = free_head();
-      *reinterpret_cast<void**>(static_cast<void*>(p)) = head;
-      head = p;
-      return;
+      FreeList& list = free_list();
+      if (list.alive) {
+        *reinterpret_cast<void**>(static_cast<void*>(p)) = list.head;
+        list.head = p;
+        return;
+      }
     }
     ::operator delete(p);
   }
@@ -137,9 +140,27 @@ struct RecyclingAllocator {
   }
 
  private:
-  static void*& free_head() noexcept {
-    thread_local void* head = nullptr;
-    return head;
+  // Destructor frees the held blocks so a worker thread's list does not
+  // outlive the thread as unreachable memory; `alive` guards against
+  // re-population during thread teardown (destruction order of
+  // thread_locals is unspecified, and a shared_ptr released by another
+  // thread_local's destructor may deallocate through here afterwards).
+  struct FreeList {
+    void* head = nullptr;
+    bool alive = true;
+    ~FreeList() {
+      while (head) {
+        void* next = *static_cast<void**>(head);
+        ::operator delete(head);
+        head = next;
+      }
+      alive = false;
+    }
+  };
+
+  static FreeList& free_list() noexcept {
+    thread_local FreeList list;
+    return list;
   }
 };
 

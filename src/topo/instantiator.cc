@@ -1,6 +1,7 @@
 #include "topo/instantiator.h"
 
 #include <stdexcept>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "netbuf/slab_cache.h"
@@ -126,6 +127,71 @@ sim::DuplexLink& World::cable(std::string_view host_id, std::size_t nic) {
 
 sim::DuplexLink& World::trunk(std::string_view a, std::string_view b) {
   return ether(a).trunk_of(ether(b));
+}
+
+fault::Partition World::make_partition(const std::vector<std::string>& side,
+                                       bool one_way) {
+  std::unordered_set<std::string> side_switches;
+  std::vector<std::string> side_hosts;
+  for (const std::string& id : side) {
+    if (switches_.contains(id)) {
+      side_switches.insert(id);
+    } else {
+      (void)host(id);  // throws std::out_of_range on unknown ids
+      side_hosts.push_back(id);
+    }
+  }
+
+  fault::Partition part;
+  for (const std::string& id : side) {
+    if (!part.name.empty()) part.name += '+';
+    part.name += id;
+  }
+  if (one_way) part.name += " (one-way)";
+
+  auto domain_loop = [this](const std::string& sw) -> sim::EventLoop* {
+    return engine_ ? domain_loops_[switch_domain_.at(sw)].get() : nullptr;
+  };
+
+  // Trunks with exactly one endpoint inside the side cross the boundary.
+  // build_fabric created each trunk via a.connect_switch(b), so a_to_b
+  // transmits from e.a's switch (and lives on e.a's domain loop).
+  for (const EdgeSpec& e : topo_.edges) {
+    if (!switches_.contains(e.a) || !switches_.contains(e.b)) continue;
+    bool a_in = side_switches.contains(e.a);
+    bool b_in = side_switches.contains(e.b);
+    if (a_in == b_in) continue;
+    sim::DuplexLink& wire = trunk(e.a, e.b);
+    if (a_in) {  // inbound direction is b -> a
+      part.cuts.push_back({&wire.b_to_a, domain_loop(e.b)});
+      if (!one_way) part.cuts.push_back({&wire.a_to_b, domain_loop(e.a)});
+    } else {     // inbound direction is a -> b
+      part.cuts.push_back({&wire.a_to_b, domain_loop(e.a)});
+      if (!one_way) part.cuts.push_back({&wire.b_to_a, domain_loop(e.b)});
+    }
+  }
+
+  // Listed hosts: cut their NIC cables. Both directions of a host cable
+  // run on the host's (= its switch's) domain loop; a_to_b is NIC->switch,
+  // b_to_a is switch->NIC (the inbound direction).
+  for (const std::string& id : side_hosts) {
+    Host& h = host(id);
+    sim::EventLoop* l = engine_ ? h.loop : nullptr;
+    for (std::size_t n = 0; n < h.node->stack.nic_count(); ++n) {
+      // Skip cables into switches that are themselves inside the side —
+      // rack-internal traffic survives a rack partition.
+      if (side_switches.contains(h.nic_switch[n]->name())) continue;
+      auto& c = h.nic_switch[n]->cable_of(h.node->stack.nic(n));
+      part.cuts.push_back({&c.b_to_a, l});
+      if (!one_way) part.cuts.push_back({&c.a_to_b, l});
+    }
+  }
+
+  if (part.cuts.empty()) {
+    throw TopologyError("make_partition: side '" + part.name +
+                        "' has no crossing links to cut");
+  }
+  return part;
 }
 
 proto::Ipv4Addr World::server_ip(int i, int nic) const {
@@ -322,6 +388,7 @@ void World::build_roles() {
     lc.routing = config_.routing;
     lc.heartbeat_interval = config_.heartbeat_interval;
     lc.heartbeat_miss_limit = config_.heartbeat_miss_limit;
+    lc.readmit_quiet_rounds = config_.readmit_quiet_rounds;
     lb_ = std::make_unique<cluster::LoadBalancer>(lb_host_->node->stack, lc,
                                                   std::move(member_list));
   }

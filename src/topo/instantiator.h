@@ -110,6 +110,7 @@ struct WorldConfig {
   cluster::Routing routing = cluster::Routing::FlowHash;
   sim::Duration heartbeat_interval = 25 * sim::kMillisecond;
   int heartbeat_miss_limit = 3;
+  int readmit_quiet_rounds = 2;  ///< flap damping (see LoadBalancer::Config)
 
   /// Seeds the world's FaultInjector and the loss hooks of lossy edges.
   std::uint64_t fault_seed = 1;
@@ -228,6 +229,18 @@ class World {
   fault::FaultInjector& faults() noexcept { return *faults_; }
 
   // ---- fault scenarios -------------------------------------------------------
+  /// Resolves the set of link cuts that isolates `side` — a list of
+  /// topology ids naming switches (whole racks) and/or hosts — from the
+  /// rest of the world. Trunks crossing the boundary and the NIC cables
+  /// of listed hosts are cut; `one_way` cuts only the directions that
+  /// deliver *into* the side (an asymmetric failure: the side still
+  /// transmits, but hears nothing). In a partitioned world each cut
+  /// carries its owning domain loop, so the resulting Partition is safe
+  /// under the ParallelEngine. Throws TopologyError when the side has no
+  /// crossing links (nothing would be isolated).
+  fault::Partition make_partition(const std::vector<std::string>& side,
+                                  bool one_way = false);
+
   /// Power-fails server `i`: cables down first (on every fabric a
   /// multi-homed server touches), then peering agent, iSCSI session, NFS
   /// daemons, and caches. Metric registrations survive.

@@ -1,0 +1,65 @@
+#!/bin/sh
+# One sanitizer driver for every suite. Builds the repo with the suite's
+# sanitizer flavour into a dedicated tree (so the default build's perf
+# baselines and byte-exact BENCH files are untouched) and runs the suite's
+# ctest selection under it.
+#
+#   sanitize.sh faults    [build-dir]  ASan/UBSan, ctest label `faults`
+#   sanitize.sh cluster   [build-dir]  ASan/UBSan, label `cluster` (incl.
+#                                      the partition/coherence tests)
+#   sanitize.sh topology  [build-dir]  ASan/UBSan, label `topology`
+#   sanitize.sh parallel  [build-dir]  TSan, labels `topology|cluster`
+#                                      (partition tests under the engine's
+#                                      worker pool included) + the
+#                                      scaleout_parallel and
+#                                      chaos_partition bench smokes
+#   sanitize.sh all       [build-dir]  ASan/UBSan, every labeled suite
+#
+# Default build dirs: build-sanitize (ASan/UBSan), build-tsan (TSan).
+#
+# TSan notes (parallel suite): the engine's only sanctioned cross-thread
+# traffic is the round handshake (mutex + condvars), the next_domain_
+# ticket counter, per-domain outboxes (owned by their staging domain
+# within a round, merged single-threaded at the barrier), and the atomic
+# dispatch/alloc counters. Partition fault windows keep that invariant by
+# scheduling every admin toggle on the owning domain's loop at arm time —
+# anything else TSan flags here is a real race.
+set -eu
+
+SRC=$(cd "$(dirname "$0")/.." && pwd)
+SUITE="${1:-}"
+
+usage() {
+  echo "usage: sanitize.sh {faults|cluster|topology|parallel|all} [build-dir]" >&2
+  exit 2
+}
+[ -n "$SUITE" ] || usage
+
+case "$SUITE" in
+  faults|cluster|topology|all)
+    BUILD="${2:-$SRC/build-sanitize}"
+    SANITIZE="address,undefined"
+    ;;
+  parallel)
+    BUILD="${2:-$SRC/build-tsan}"
+    SANITIZE="thread"
+    ;;
+  *) usage ;;
+esac
+
+cmake -B "$BUILD" -S "$SRC" -DNCACHE_SANITIZE="$SANITIZE"
+cmake --build "$BUILD" -j
+
+case "$SUITE" in
+  faults)   ctest --test-dir "$BUILD" -L faults --output-on-failure -j 4 ;;
+  cluster)  ctest --test-dir "$BUILD" -L cluster --output-on-failure -j 4 ;;
+  topology) ctest --test-dir "$BUILD" -L topology --output-on-failure -j 4 ;;
+  all)      ctest --test-dir "$BUILD" -L 'faults|cluster|topology' \
+              --output-on-failure -j 4 ;;
+  parallel)
+    ctest --test-dir "$BUILD" -L 'topology|cluster' --output-on-failure -j 4
+    ctest --test-dir "$BUILD" \
+      -R 'bench_smoke_scaleout_parallel|bench_smoke_chaos_partition' \
+      --output-on-failure
+    ;;
+esac

@@ -1,27 +1,4 @@
 #!/bin/sh
-# Builds the repo with -DNCACHE_SANITIZE=thread and runs the suites that
-# exercise the parallel engine's worker pool and the partitioned worlds
-# under TSan: the topology label (which includes tests/parallel_test.cc —
-# engine rounds, partitioned topo::Worlds, cross-domain links), the
-# cluster label (peering traffic the racks worlds reuse), and the
-# scaleout_parallel bench smoke (the T>1 worker-thread sweep end to end).
-# The sanitizer build lives in its own tree so the default build's perf
-# baselines and byte-exact BENCH files are untouched.
-#
-# TSan notes: the engine's only sanctioned cross-thread traffic is the
-# round handshake (mutex + condvars), the next_domain_ ticket counter,
-# per-domain outboxes (owned by their staging domain within a round,
-# merged single-threaded at the barrier), and the atomic dispatch/alloc
-# counters — anything else TSan flags here is a real race.
-#
-# Usage: sanitize_parallel.sh [build-dir]   (default: build-tsan)
-set -eu
-
-SRC=$(cd "$(dirname "$0")/.." && pwd)
-BUILD="${1:-$SRC/build-tsan}"
-
-cmake -B "$BUILD" -S "$SRC" -DNCACHE_SANITIZE=thread
-cmake --build "$BUILD" -j
-ctest --test-dir "$BUILD" -L 'topology|cluster' --output-on-failure -j 4
-ctest --test-dir "$BUILD" -R 'bench_smoke_scaleout_parallel' \
-  --output-on-failure
+# Thin shim: the per-suite sanitizer runners were consolidated into
+# sanitize.sh; this name is kept for muscle memory and CI configs.
+exec "$(dirname "$0")/sanitize.sh" parallel "$@"

@@ -1,16 +1,4 @@
 #!/bin/sh
-# Builds the repo with -DNCACHE_SANITIZE=address,undefined and runs the
-# topology suite (ctest label `topology`: graph/parser/validator units,
-# facade parity, two-rack WAN integration) under it. The sanitizer build
-# lives in its own tree so the default build's perf baselines and
-# byte-exact BENCH files are untouched.
-#
-# Usage: sanitize_topology.sh [build-dir]   (default: build-sanitize)
-set -eu
-
-SRC=$(cd "$(dirname "$0")/.." && pwd)
-BUILD="${1:-$SRC/build-sanitize}"
-
-cmake -B "$BUILD" -S "$SRC" -DNCACHE_SANITIZE=address,undefined
-cmake --build "$BUILD" -j
-ctest --test-dir "$BUILD" -L topology --output-on-failure -j 4
+# Thin shim: the per-suite sanitizer runners were consolidated into
+# sanitize.sh; this name is kept for muscle memory and CI configs.
+exec "$(dirname "$0")/sanitize.sh" topology "$@"
