@@ -16,6 +16,7 @@ topo::WorldConfig ClusterTestbed::world_config(const ClusterConfig& config) {
   wc.routing = config.routing;
   wc.heartbeat_interval = config.heartbeat_interval;
   wc.heartbeat_miss_limit = config.heartbeat_miss_limit;
+  wc.overload = config.overload;
   wc.costs = config.costs;
   return wc;
 }

@@ -48,6 +48,9 @@ struct ClusterConfig {
   sim::Duration heartbeat_interval = 25 * sim::kMillisecond;
   int heartbeat_miss_limit = 3;
 
+  // Overload-control spine (all gates off by default — see WorldConfig).
+  topo::WorldConfig::OverloadConfig overload;
+
   sim::CostModel costs{};
 };
 

@@ -15,7 +15,9 @@ LoadBalancer::LoadBalancer(proto::NetworkStack& stack, Config config,
       config_(config),
       members_(std::move(members)),
       ring_(config.vnodes),
-      next_nat_port_(config.nat_base) {
+      next_nat_port_(config.nat_base),
+      aimd_(config.admission.aimd),
+      bucket_(aimd_.rate(), config.admission.burst) {
   for (const Member& m : members_) ring_.add_member(m.id);
 }
 
@@ -111,6 +113,16 @@ void LoadBalancer::on_request(proto::Ipv4Addr src_ip, std::uint16_t src_port,
                               proto::Ipv4Addr /*dst_ip*/,
                               std::uint16_t /*dst_port*/, MsgBuffer msg) {
   if (!running_) return;
+  if (config_.admission.enabled) {
+    // Admission control: reject at the VIP, before any replica CPU is
+    // spent. The drop is silent — NFS clients resend on their adaptive
+    // RTO, so shed work retries against a recovered cluster.
+    if (!bucket_.try_take(stack_.loop().now())) {
+      ++stats_.admission_shed;
+      return;
+    }
+    ++stats_.admitted;
+  }
   if (ring_.empty()) {
     ++stats_.drops_no_member;
     return;
@@ -133,7 +145,11 @@ void LoadBalancer::on_control(proto::Ipv4Addr /*src_ip*/,
                               proto::Ipv4Addr /*dst_ip*/,
                               std::uint16_t /*dst_port*/, MsgBuffer msg) {
   if (!running_ || msg.size() < 12) return;
-  auto bytes = msg.peek_bytes(12);
+  // Acks are 12 bytes [msg, seq, id] plus an optional trailing u32 queue
+  // depth — zero-suppressed by the replica, so idle clusters put exactly
+  // the same bytes on the wire as before the field existed.
+  const bool has_qdepth = msg.size() >= 16;
+  auto bytes = msg.peek_bytes(has_qdepth ? 16 : 12);
   ByteReader r(bytes);
   if (PeerMsg(r.u32()) != PeerMsg::HeartbeatAck) return;
   std::uint32_t seq = r.u32();
@@ -142,6 +158,7 @@ void LoadBalancer::on_control(proto::Ipv4Addr /*src_ip*/,
   ++stats_.acks_received;
   hb_acked_.insert(id);
   hb_misses_[id] = 0;
+  qdepth_[id] = has_qdepth ? r.u32() : 0;
   // A dead member answering is NOT re-admitted here: heartbeat_tick
   // evaluates its probation, and only `readmit_quiet_rounds` consecutive
   // acked rounds bring it back (flap damping on lossy links).
@@ -178,6 +195,19 @@ void LoadBalancer::heartbeat_tick(std::uint64_t generation) {
         ++stats_.flaps_suppressed;  // probation reset: a flap caught
       }
     }
+  }
+
+  if (config_.admission.enabled && hb_seq_ > 0) {
+    // One AIMD round per heartbeat round: any live replica reporting a
+    // deep queue cuts the admission rate multiplicatively; an all-clear
+    // round walks it back up additively.
+    std::uint32_t max_depth = 0;
+    for (const Member& m : members_) {
+      if (!ring_.has_member(m.id)) continue;
+      max_depth = std::max(max_depth, replica_qdepth(m.id));
+    }
+    bucket_.set_rate(
+        aimd_.on_round(max_depth >= config_.admission.qdepth_high));
   }
 
   hb_acked_.clear();
@@ -265,6 +295,21 @@ void LoadBalancer::register_metrics(MetricRegistry& registry,
   registry.gauge(node, "lb.ring_points",
                  [this] { return double(ring_.point_count()); });
   registry.gauge(node, "lb.epoch", [this] { return double(epoch_); });
+  for (const Member& m : members_) {
+    // Replica queue depth as last piggybacked on a heartbeat ack. One
+    // gauge per configured member, e.g. "lb.replica0.qdepth".
+    registry.gauge(node, "lb.replica" + std::to_string(m.id) + ".qdepth",
+                   [this, id = m.id] { return double(replica_qdepth(id)); });
+  }
+  if (config_.admission.enabled) {
+    // Admission metrics exist only when the feature is on, keeping a
+    // disabled run's metrics JSON byte-identical.
+    registry.counter(node, "overload.admitted",
+                     [this] { return stats_.admitted; });
+    registry.counter(node, "overload.shed",
+                     [this] { return stats_.admission_shed; });
+    registry.gauge(node, "overload.rate", [this] { return aimd_.rate(); });
+  }
   registry.on_reset([this] { reset_stats(); });
 }
 

@@ -33,6 +33,7 @@
 
 #include "cluster/hash_ring.h"
 #include "cluster/peer_cache.h"
+#include "common/overload.h"
 #include "proto/stack.h"
 
 namespace ncache::cluster {
@@ -56,6 +57,9 @@ struct LbStats {
   /// Ring changes damping prevented: re-admissions deferred during the
   /// quiet period, and probations reset by a renewed silence.
   std::uint64_t flaps_suppressed = 0;
+  // --- admission control (overload) ---
+  std::uint64_t admitted = 0;        ///< requests past the token bucket
+  std::uint64_t admission_shed = 0;  ///< requests refused at ingress
 };
 
 class LoadBalancer {
@@ -78,6 +82,18 @@ class LoadBalancer {
     /// one evaluation round later).
     int readmit_quiet_rounds = 2;
     int vnodes = 64;
+    /// AIMD/token-bucket admission control at the VIP: requests past the
+    /// bucket are dropped at ingress (the client's RTO resends), and the
+    /// rate walks up additively each healthy heartbeat round / cuts
+    /// multiplicatively when replica queue-depth feedback signals
+    /// congestion. Off by default; when off nothing changes.
+    struct Admission {
+      bool enabled = false;
+      overload::AimdRate::Config aimd;
+      double burst = 256.0;            ///< bucket depth (requests)
+      std::uint32_t qdepth_high = 16;  ///< replica depth = congestion
+    };
+    Admission admission;
   };
 
   LoadBalancer(proto::NetworkStack& stack, Config config,
@@ -100,6 +116,15 @@ class LoadBalancer {
   const Config& config() const noexcept { return config_; }
   const LbStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = LbStats{}; }
+
+  /// Last queue depth member `id` piggybacked on a heartbeat ack
+  /// (0 = never reported / reported idle).
+  std::uint32_t replica_qdepth(std::uint32_t id) const {
+    auto it = qdepth_.find(id);
+    return it == qdepth_.end() ? 0 : it->second;
+  }
+  /// Current admission rate (requests/sec; the AIMD controller's output).
+  double admission_rate() const noexcept { return aimd_.rate(); }
 
   /// Publishes lb.* counters and ring gauges under `node`.
   void register_metrics(MetricRegistry& registry, const std::string& node);
@@ -148,6 +173,12 @@ class LoadBalancer {
   std::unordered_map<std::uint32_t, int> hb_misses_;
   /// Dead members' consecutive acked rounds (re-admission probation).
   std::unordered_map<std::uint32_t, int> readmit_streak_;
+
+  /// Replica queue depths piggybacked on heartbeat acks (zero-suppressed
+  /// on the wire: an ack without the trailing field means idle).
+  std::unordered_map<std::uint32_t, std::uint32_t> qdepth_;
+  overload::AimdRate aimd_;      ///< admission-rate controller
+  overload::TokenBucket bucket_; ///< enforces the current rate at ingress
 
   LbStats stats_;
 };

@@ -132,6 +132,15 @@ void PeerCache::retransmit(std::uint64_t ticket) {
     erase_reliable(it);
     return;
   }
+  if (retry_budget_ &&
+      !retry_budget_->try_withdraw(stack_.loop().now())) {
+    // Budget exhausted: stay silent this round but keep the entry armed
+    // at the backoff cap — delivery remains eventual, without feeding
+    // the retry storm. Attempts only count actual sends.
+    stack_.loop().schedule_in(config_.reliable_backoff_cap,
+                              [this, ticket] { retransmit(ticket); });
+    return;
+  }
   ++r.attempts;
   ++stats_.retransmits;
   sock_.send_meta(peer_endpoint(r.peer), r.payload);
@@ -143,7 +152,12 @@ void PeerCache::ack_reliable(std::uint32_t peer, std::uint32_t seq) {
   auto idx = reliable_index_.find(reliable_key(peer, seq));
   if (idx == reliable_index_.end()) return;  // duplicate ack
   auto it = reliable_.find(idx->second);
-  if (it != reliable_.end()) erase_reliable(it);
+  if (it != reliable_.end()) {
+    // A confirmed delivery is goodput: it earns the budget back a
+    // fraction of a retry token.
+    if (retry_budget_) retry_budget_->deposit(stack_.loop().now());
+    erase_reliable(it);
+  }
 }
 
 // ---- fetch -------------------------------------------------------------------
@@ -515,6 +529,13 @@ void PeerCache::on_datagram(proto::Ipv4Addr src_ip, std::uint16_t src_port,
       w.u32(std::uint32_t(PeerMsg::HeartbeatAck));
       w.u32(hb_seq);
       w.u32(config_.self_id);
+      if (qdepth_probe_) {
+        // Piggybacked queue depth for the balancer's admission control —
+        // zero extra packets, and zero-suppressed so an idle replica's
+        // ack bytes are unchanged from the probe-less wire format.
+        std::size_t depth = qdepth_probe_();
+        if (depth > 0) w.u32(std::uint32_t(depth));
+      }
       ++stats_.heartbeats_answered;
       sock_.send_meta({dst_ip, src_ip, src_port}, ack);
       return;

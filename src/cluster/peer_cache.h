@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "cluster/hash_ring.h"
+#include "common/overload.h"
 #include "core/ncache_module.h"
 #include "core/pass_mode.h"
 #include "fs/simple_fs.h"
@@ -215,6 +216,22 @@ class PeerCache {
   /// Publishes peer.* counters and ring gauges under `node`.
   void register_metrics(MetricRegistry& registry, const std::string& node);
 
+  /// Queue-depth feedback for the balancer's admission controller: when
+  /// set, heartbeat acks carry a trailing u32 with the probed depth —
+  /// zero-suppressed, so an idle replica's acks keep their pre-feedback
+  /// wire bytes and fault-free runs stay byte-identical.
+  void set_qdepth_probe(std::function<std::size_t()> fn) {
+    qdepth_probe_ = std::move(fn);
+  }
+
+  /// Shared retry budget: when set, every reliable retransmission must
+  /// win a token first. A denial re-arms the timer at the backoff cap
+  /// without sending — delivery stays eventual, but recovery traffic can
+  /// never exceed the budgeted fraction of goodput.
+  void set_retry_budget(overload::RetryBudget* budget) {
+    retry_budget_ = budget;
+  }
+
  private:
   struct PendingFetch {
     std::uint64_t lbn = 0;
@@ -300,6 +317,9 @@ class PeerCache {
   std::unordered_map<std::uint64_t, std::uint64_t> reliable_index_;
   std::uint64_t next_ticket_ = 1;
   std::size_t repair_outstanding_ = 0;  ///< pending digest entries
+
+  std::function<std::size_t()> qdepth_probe_;
+  overload::RetryBudget* retry_budget_ = nullptr;
 
   PeerCacheStats stats_;
 };

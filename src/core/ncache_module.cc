@@ -13,7 +13,11 @@ using netbuf::MsgBuffer;
 
 NCacheModule::NCacheModule(proto::NetworkStack& stack,
                            NetCentricCache::Config config)
-    : stack_(stack), cache_(stack.cpu(), stack.costs(), config) {}
+    : stack_(stack), cache_(stack.cpu(), stack.costs(), config) {
+  // Freshness stamps cost nothing and are never serialized; the brownout
+  // ServeStale tier reads them through lbn_inserted_at.
+  cache_.set_clock([this] { return stack_.loop().now(); });
+}
 
 void NCacheModule::attach_egress() {
   stack_.set_egress_filter(
@@ -33,7 +37,21 @@ void NCacheModule::attach_initiator(iscsi::IscsiInitiator& initiator) {
       });
   initiator.set_lbn_probe([this, target](std::uint64_t lbn) {
     maybe_recover();
-    if (degraded_) return false;  // fall through to the physical chain
+    if (brownout_.enabled) {
+      if (tier_ >= BrownoutTier::PhysicalCopy) return false;
+      if (tier_ == BrownoutTier::ServeStale) {
+        // Ingestion is bypassed in this tier, so cached chunks only age;
+        // answer from cache while they are younger than the TTL.
+        auto at = cache_.lbn_inserted_at(lbn, target);
+        if (!at) return false;
+        if (stack_.loop().now() - *at > brownout_.stale_ttl) return false;
+        ++stats_.second_level_hits;
+        ++stats_.brownout_stale_hits;
+        return true;
+      }
+    } else if (degraded_) {
+      return false;  // fall through to the physical chain
+    }
     if (!cache_.contains_lbn(lbn, target)) return false;
     ++stats_.second_level_hits;
     return true;
@@ -41,6 +59,10 @@ void NCacheModule::attach_initiator(iscsi::IscsiInitiator& initiator) {
 }
 
 void NCacheModule::note_pressure() {
+  if (brownout_.enabled) {
+    brownout_note_pressure();
+    return;
+  }
   if (!degrade_.enabled) return;
   sim::Time now = stack_.loop().now();
   last_pressure_ = now;
@@ -60,7 +82,70 @@ void NCacheModule::note_pressure() {
   }
 }
 
+void NCacheModule::brownout_note_pressure() {
+  sim::Time now = stack_.loop().now();
+  last_pressure_ = now;
+  pressure_events_.push_back(now);
+  sim::Time horizon =
+      now > brownout_.pressure_window ? now - brownout_.pressure_window : 0;
+  while (!pressure_events_.empty() && pressure_events_.front() < horizon) {
+    pressure_events_.pop_front();
+  }
+  // The window is NOT cleared on escalation: sustained pressure keeps the
+  // count climbing through the higher thresholds.
+  std::size_t n = pressure_events_.size();
+  BrownoutTier target = BrownoutTier::Normal;
+  if (n >= brownout_.tier3_threshold) {
+    target = BrownoutTier::Shed;
+  } else if (n >= brownout_.tier2_threshold) {
+    target = BrownoutTier::PhysicalCopy;
+  } else if (n >= brownout_.tier1_threshold) {
+    target = BrownoutTier::ServeStale;
+  }
+  if (target > tier_) set_tier(target, now);
+}
+
+void NCacheModule::brownout_maybe_recover() {
+  if (tier_ == BrownoutTier::Normal) return;
+  sim::Time now = stack_.loop().now();
+  if (now - tier_since_ < brownout_.min_dwell) return;
+  if (now - last_pressure_ < brownout_.quiet_period) return;
+  // One tier at a time; the dwell clock restarts at every step.
+  set_tier(BrownoutTier(int(tier_) - 1), now);
+}
+
+void NCacheModule::set_tier(BrownoutTier tier, sim::Time now) {
+  bool was_degraded = tier_ >= BrownoutTier::PhysicalCopy;
+  bool is_degraded = tier >= BrownoutTier::PhysicalCopy;
+  if (tier > tier_) {
+    ++stats_.brownout_escalations;
+    NC_WARN("ncache", "brownout escalation: tier %d -> %d", int(tier_),
+            int(tier));
+  } else {
+    ++stats_.brownout_deescalations;
+    NC_WARN("ncache", "brownout recovery step: tier %d -> %d", int(tier_),
+            int(tier));
+  }
+  tier_ = tier;
+  tier_since_ = now;
+  // Keep the legacy degraded flag (and its time accounting) mirroring the
+  // PhysicalCopy boundary so degraded()/degraded_ns() stay meaningful.
+  if (!was_degraded && is_degraded) {
+    degraded_ = true;
+    degraded_since_ = now;
+    ++stats_.degrade_entries;
+  } else if (was_degraded && !is_degraded) {
+    degraded_ = false;
+    degraded_total_ns_ += now - degraded_since_;
+    ++stats_.degrade_exits;
+  }
+}
+
 void NCacheModule::maybe_recover() {
+  if (brownout_.enabled) {
+    brownout_maybe_recover();
+    return;
+  }
   if (!degraded_) return;
   sim::Time now = stack_.loop().now();
   if (now - degraded_since_ < degrade_.min_dwell) return;
@@ -81,7 +166,7 @@ MsgBuffer NCacheModule::ingest_lbn(std::uint32_t target, std::uint64_t lbn,
                                    MsgBuffer chain) {
   maybe_recover();
   auto len = std::uint32_t(chain.size());
-  if (degraded_) {
+  if (ingest_bypass()) {
     // Degraded: behave like the Original path — one physical copy up, no
     // cache traffic, so replies carry real bytes regardless of pool state.
     ++stats_.degraded_ingest_bypass;
@@ -105,7 +190,7 @@ MsgBuffer NCacheModule::ingest_lbn(std::uint32_t target, std::uint64_t lbn,
 MsgBuffer NCacheModule::ingest_fho(FhoKey key, MsgBuffer chain) {
   maybe_recover();
   auto len = std::uint32_t(chain.size());
-  if (degraded_) {
+  if (ingest_bypass()) {
     ++stats_.degraded_ingest_bypass;
     return stack_.copier().copy_message(chain, netbuf::CopyClass::RegularData);
   }
@@ -204,6 +289,18 @@ void NCacheModule::register_metrics(MetricRegistry& registry,
   registry.gauge(node, "ncache.degraded", [this] { return degraded_ ? 1.0 : 0.0; });
   registry.counter(node, "ncache.degraded_ns",
                    [this] { return std::uint64_t(degraded_ns()); });
+  // Brownout rows only exist when the ladder is on: disabled runs keep the
+  // historical metrics JSON byte-for-byte.
+  if (brownout_.enabled) {
+    registry.gauge(node, "ncache.brownout.tier",
+                   [this] { return double(int(tier_)); });
+    registry.counter(node, "ncache.brownout.escalations",
+                     [this] { return stats_.brownout_escalations; });
+    registry.counter(node, "ncache.brownout.deescalations",
+                     [this] { return stats_.brownout_deescalations; });
+    registry.counter(node, "ncache.brownout.stale_hits",
+                     [this] { return stats_.brownout_stale_hits; });
+  }
   registry.on_reset([this] { reset_stats(); });
   cache_.register_metrics(registry, node, "ncache.cache");
 }

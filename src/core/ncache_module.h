@@ -34,7 +34,22 @@ struct ModuleStats {
   std::uint64_t degrade_entries = 0;      ///< times the module fell back
   std::uint64_t degrade_exits = 0;        ///< times it recovered
   std::uint64_t degraded_ingest_bypass = 0;  ///< ingests served physically
+  std::uint64_t brownout_escalations = 0;    ///< tier steps up
+  std::uint64_t brownout_deescalations = 0;  ///< tier steps down (one at a time)
+  std::uint64_t brownout_stale_hits = 0;  ///< ServeStale probes within TTL
 };
+
+/// Brownout ladder (graded degradation). Tiers are ordered by severity;
+/// each keeps everything the previous tier gave up and sheds more:
+///   Normal       — full NCache operation;
+///   ServeStale   — ingestion bypassed (relieves pool pressure); the
+///                  second-level probe still answers from cache, but only
+///                  for chunks younger than `stale_ttl`;
+///   PhysicalCopy — the legacy degraded mode: physical copies everywhere,
+///                  probe disabled;
+///   Shed         — additionally tells the NFS server (via its shed probe)
+///                  to drop incoming data ops at the door.
+enum class BrownoutTier { Normal = 0, ServeStale = 1, PhysicalCopy = 2, Shed = 3 };
 
 class NCacheModule {
  public:
@@ -47,6 +62,24 @@ class NCacheModule {
     bool enabled = true;
     std::size_t pressure_threshold = 8;
     sim::Duration pressure_window = 50 * sim::kMillisecond;
+    sim::Duration min_dwell = 200 * sim::kMillisecond;
+    sim::Duration quiet_period = 100 * sim::kMillisecond;
+  };
+
+  /// Brownout policy. When enabled it replaces the two-state DegradeConfig
+  /// machine with the four-tier ladder above: the same pressure events
+  /// (insert failures, substitution misses) accumulate in a rolling window
+  /// and the window count picks the tier. Escalation is immediate and can
+  /// skip tiers; recovery steps down one tier at a time, each step gated
+  /// by `min_dwell` since the last change plus `quiet_period` with no
+  /// pressure — the hysteresis that prevents flapping.
+  struct BrownoutConfig {
+    bool enabled = false;
+    std::size_t tier1_threshold = 8;   ///< window count entering ServeStale
+    std::size_t tier2_threshold = 16;  ///< entering PhysicalCopy
+    std::size_t tier3_threshold = 32;  ///< entering Shed
+    sim::Duration pressure_window = 50 * sim::kMillisecond;
+    sim::Duration stale_ttl = 500 * sim::kMillisecond;  ///< ServeStale age bound
     sim::Duration min_dwell = 200 * sim::kMillisecond;
     sim::Duration quiet_period = 100 * sim::kMillisecond;
   };
@@ -87,6 +120,21 @@ class NCacheModule {
   /// Total time spent degraded, including the current stretch.
   sim::Duration degraded_ns() const noexcept;
 
+  /// Configure before register_metrics (brownout rows register only when
+  /// enabled, preserving byte-identity of disabled runs).
+  BrownoutConfig& brownout_config() noexcept { return brownout_; }
+  BrownoutTier brownout_tier() const noexcept { return tier_; }
+  bool shed_active() const noexcept {
+    return brownout_.enabled && tier_ == BrownoutTier::Shed;
+  }
+  /// The NFS server's shed probe: gives recovery a chance to run (the
+  /// ladder is checked lazily, on hook calls) and reports whether the
+  /// top tier is active.
+  bool shed_probe() {
+    maybe_recover();
+    return shed_active();
+  }
+
   /// Publishes ncache.* module counters (and the underlying cache's
   /// counters/gauges) under `node`.
   void register_metrics(MetricRegistry& registry, const std::string& node);
@@ -99,11 +147,23 @@ class NCacheModule {
   /// dwell and quiet conditions hold.
   void maybe_recover();
 
+  /// Brownout variants of the two above (used when brownout_.enabled).
+  void brownout_note_pressure();
+  void brownout_maybe_recover();
+  void set_tier(BrownoutTier tier, sim::Time now);
+  /// Whether ingestion should fall back to the physical-copy path.
+  bool ingest_bypass() const noexcept {
+    return brownout_.enabled ? tier_ >= BrownoutTier::ServeStale : degraded_;
+  }
+
   proto::NetworkStack& stack_;
   NetCentricCache cache_;
   ModuleStats stats_;
 
   DegradeConfig degrade_;
+  BrownoutConfig brownout_;
+  BrownoutTier tier_ = BrownoutTier::Normal;
+  sim::Time tier_since_ = 0;
   bool degraded_ = false;
   std::deque<sim::Time> pressure_events_;  ///< rolling window
   sim::Time degraded_since_ = 0;

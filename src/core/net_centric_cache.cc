@@ -73,6 +73,7 @@ bool NetCentricCache::insert_lbn(LbnKey key, MsgBuffer chain) {
     if (!pinned) return false;
     it->second->chain = std::move(chain);
     it->second->pinned = *pinned;
+    it->second->inserted_at = stamp();
     touch(*it->second);
     ++stats_.lbn_inserts;
     return true;
@@ -83,6 +84,7 @@ bool NetCentricCache::insert_lbn(LbnKey key, MsgBuffer chain) {
   chunk->chain = std::move(chain);
   chunk->lbn = key;
   chunk->pinned = *pinned;
+  chunk->inserted_at = stamp();
   lru_.push_back(*chunk);
   lbn_index_.emplace(key, std::move(chunk));
   ++stats_.lbn_inserts;
@@ -98,6 +100,7 @@ bool NetCentricCache::insert_fho(FhoKey key, MsgBuffer chain) {
     it->second->chain = std::move(chain);
     it->second->pinned = *pinned;
     it->second->dirty = true;
+    it->second->inserted_at = stamp();
     touch(*it->second);
     ++stats_.fho_overwrites;
     return true;
@@ -110,6 +113,7 @@ bool NetCentricCache::insert_fho(FhoKey key, MsgBuffer chain) {
   chunk->fho = key;
   chunk->dirty = true;
   chunk->pinned = *pinned;
+  chunk->inserted_at = stamp();
   lru_.push_back(*chunk);
   fho_index_.emplace(key, std::move(chunk));
   ++stats_.fho_inserts;
@@ -153,6 +157,13 @@ bool NetCentricCache::contains_lbn(std::uint64_t lbn_block,
   return lbn_index_.contains(LbnKey{target, lbn_block});
 }
 
+std::optional<sim::Time> NetCentricCache::lbn_inserted_at(
+    std::uint64_t lbn_block, std::uint32_t target) const {
+  auto it = lbn_index_.find(LbnKey{target, lbn_block});
+  if (it == lbn_index_.end()) return std::nullopt;
+  return it->second->inserted_at;
+}
+
 std::vector<LbnKey> NetCentricCache::lbn_keys() const {
   std::vector<LbnKey> keys;
   keys.reserve(lbn_index_.size());
@@ -191,6 +202,7 @@ bool NetCentricCache::remap(FhoKey fho, LbnKey lbn) {
   chunk->lbn = lbn;
   chunk->fho = fho;  // retained for forwarding cleanup on eviction
   chunk->dirty = false;  // the triggering flush is writing it to storage
+  chunk->inserted_at = stamp();  // remap refreshes: the flush just wrote it
   forward_[fho] = lbn;
   lbn_index_.emplace(lbn, std::move(chunk));
   ++stats_.remaps;

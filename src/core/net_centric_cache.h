@@ -23,6 +23,7 @@
 // key and an LBN key" (§3.4).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <unordered_map>
 
@@ -33,6 +34,7 @@
 #include "netbuf/net_buffer.h"
 #include "sim/cost_model.h"
 #include "sim/cpu_model.h"
+#include "sim/timer_wheel.h"
 
 namespace ncache::core {
 
@@ -85,6 +87,16 @@ class NetCentricCache {
   /// second-level-cache check).
   bool contains_lbn(std::uint64_t lbn_block, std::uint32_t target) const;
 
+  /// When the chunk under (target, lbn) was last inserted or remapped, or
+  /// nullopt when absent. Only meaningful with a clock attached; brownout's
+  /// serve-stale tier uses it to bound the age of second-level hits.
+  std::optional<sim::Time> lbn_inserted_at(std::uint64_t lbn_block,
+                                           std::uint32_t target) const;
+
+  /// Clock source for freshness stamps. Without one, stamps stay 0 — the
+  /// cache itself never reads them, so fault-free runs are unaffected.
+  void set_clock(std::function<sim::Time()> clock) { clock_ = std::move(clock); }
+
   /// Every LBN key currently cached, in ascending (target, lbn) order so
   /// callers iterate deterministically. Cluster peering walks this on a
   /// membership change to push chunks to their new hash owner.
@@ -124,7 +136,10 @@ class NetCentricCache {
     std::optional<netbuf::FhoKey> fho;
     bool dirty = false;
     std::size_t pinned = 0;  ///< bytes charged to the pool for this chunk
+    sim::Time inserted_at = 0;  ///< freshness stamp (0 without a clock)
   };
+
+  sim::Time stamp() const { return clock_ ? clock_() : 0; }
 
   /// Pins the chain's buffers into the pool; evicts LRU chunks as needed.
   /// Returns pinned byte count, or nullopt on failure.
@@ -150,6 +165,7 @@ class NetCentricCache {
 
   IntrusiveList<Chunk> lru_;
   NetCacheStats stats_;
+  std::function<sim::Time()> clock_;
 };
 
 }  // namespace ncache::core

@@ -35,10 +35,28 @@ void KHttpd::register_metrics(MetricRegistry& registry,
                  [this] { return stats_.body_bytes; });
   registry.counter(node, "http.connections",
                    [this] { return stats_.connections; });
+  if (config_.overload.enabled) {
+    // Overload-only metrics register only when the feature is on, so a
+    // disabled run's metrics JSON stays byte-identical to the seed.
+    registry.counter(node, "http.responses_503",
+                     [this] { return stats_.responses_503; });
+    registry.counter(node, "overload.shed", [this] { return stats_.shed; });
+    registry.counter(node, "overload.conn_rejects",
+                     [this] { return stats_.conn_rejects; });
+    registry.histogram(node, "overload.sojourn", &sojourn_);
+  }
   registry.on_reset([this] { reset_stats(); });
 }
 
 void KHttpd::on_accept(proto::TcpConnectionPtr conn) {
+  const OverloadConfig& ov = config_.overload;
+  if (ov.enabled && connections_.size() >= ov.max_connections) {
+    // Accept-queue overflow: refuse before allocating any per-connection
+    // state — the cheapest point to shed a whole client.
+    ++stats_.conn_rejects;
+    conn->reset();
+    return;
+  }
   ++stats_.connections;
   // RSS: a connection's requests all run on the core its 4-tuple hashes
   // to (identically 0 on a K=1 model).
@@ -85,17 +103,47 @@ void KHttpd::Connection::on_data(MsgBuffer m) {
     if (head.find("Connection: close") != std::string::npos) {
       close_after = true;  // HTTP/1.0-style non-persistent connection
     }
-    pipeline.push_back(head.substr(sp1 + 1, sp2 - sp1 - 1));
+    const OverloadConfig& ov = server.config_.overload;
+    if (ov.enabled && pipeline.size() >= ov.pipeline_limit) {
+      // Pipeline cap: answer 503 immediately instead of queueing — the
+      // reject costs one metadata send, no fs work.
+      ++server.stats_.responses_503;
+      ++server.stats_.shed;
+      sock.send_meta(
+          "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n");
+      continue;
+    }
+    pipeline.push_back(PendingRequest{head.substr(sp1 + 1, sp2 - sp1 - 1),
+                                      server.stack_.loop().now()});
   }
   pump();
 }
 
 void KHttpd::Connection::pump() {
-  if (busy || pipeline.empty()) return;
-  busy = true;
-  std::string path = std::move(pipeline.front());
-  pipeline.pop_front();
-  serve_and_continue(std::move(path)).detach(server.stack_.loop().reaper());
+  if (busy) return;
+  const OverloadConfig& ov = server.config_.overload;
+  while (!pipeline.empty()) {
+    PendingRequest req = std::move(pipeline.front());
+    pipeline.pop_front();
+    if (ov.enabled) {
+      const sim::Time now = server.stack_.loop().now();
+      const std::uint64_t sojourn = now - req.enqueued_at;
+      server.sojourn_.record(sojourn);
+      if (codel.on_dequeue(now, sojourn)) {
+        // Sojourn above target for a full interval: shed with a cheap 503
+        // and keep draining until CoDel lets one through.
+        ++server.stats_.responses_503;
+        ++server.stats_.shed;
+        sock.send_meta(
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n");
+        continue;
+      }
+    }
+    busy = true;
+    serve_and_continue(std::move(req.path))
+        .detach(server.stack_.loop().reaper());
+    return;
+  }
 }
 
 Task<void> KHttpd::Connection::serve_and_continue(std::string path) {

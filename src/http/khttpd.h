@@ -14,6 +14,8 @@
 
 #include <deque>
 
+#include "common/overload.h"
+#include "common/stats.h"
 #include "core/ncache_module.h"
 #include "core/pass_mode.h"
 #include "fs/simple_fs.h"
@@ -33,15 +35,28 @@ struct KHttpdStats {
   std::uint64_t responses_400 = 0;
   std::uint64_t body_bytes = 0;
   std::uint64_t connections = 0;
+  std::uint64_t responses_503 = 0;  ///< shed with 503 (overload enabled)
+  std::uint64_t shed = 0;           ///< pipeline-cap + CoDel sheds
+  std::uint64_t conn_rejects = 0;   ///< accepts refused at the cap
 };
 
 class KHttpd {
  public:
+  /// Overload-control knobs, all off by default (disabled runs stay
+  /// byte-identical). Sheds answer with a cheap 503 before any fs work.
+  struct OverloadConfig {
+    bool enabled = false;
+    std::size_t max_connections = 4096;  ///< accepts refused past this
+    std::size_t pipeline_limit = 64;     ///< queued requests per connection
+    overload::CoDelState::Config codel;  ///< sojourn shed on the pipeline
+  };
+
   struct Config {
     core::PassMode mode = core::PassMode::Original;
     std::uint16_t port = 80;
     /// sendfile chunk: how much file data each fs read moves.
     std::uint32_t chunk_bytes = 64 * 1024;
+    OverloadConfig overload;
   };
 
   KHttpd(proto::NetworkStack& stack, fs::SimpleFs& fs, Config config,
@@ -50,7 +65,10 @@ class KHttpd {
   void start();
 
   const KHttpdStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = KHttpdStats{}; }
+  void reset_stats() noexcept {
+    stats_ = KHttpdStats{};
+    sojourn_.reset();
+  }
   core::PassMode mode() const noexcept { return config_.mode; }
 
   /// Publishes http.* request counters under `node` and hooks reset_stats()
@@ -58,9 +76,16 @@ class KHttpd {
   void register_metrics(MetricRegistry& registry, const std::string& node);
 
  private:
+  struct PendingRequest {
+    std::string path;
+    sim::Time enqueued_at = 0;  ///< arrival time (sojourn measurement)
+  };
+
   struct Connection : std::enable_shared_from_this<Connection> {
     Connection(KHttpd& s, proto::TcpConnectionPtr c)
-        : server(s), sock(s.stack_, s.config_.mode, std::move(c)) {}
+        : server(s),
+          sock(s.stack_, s.config_.mode, std::move(c)),
+          codel(s.config_.overload.codel) {}
 
     KHttpd& server;
     /// The extended socket interface (§4): all response egress — headers
@@ -70,7 +95,8 @@ class KHttpd {
     std::string inbox;        ///< accumulated request bytes
     bool busy = false;        ///< a request is being served
     bool close_after = false; ///< client sent Connection: close
-    std::deque<std::string> pipeline;  ///< parsed paths awaiting service
+    std::deque<PendingRequest> pipeline;  ///< parsed paths awaiting service
+    overload::CoDelState codel;  ///< per-connection sojourn control law
 
     void on_data(netbuf::MsgBuffer m);
     void pump();
@@ -89,6 +115,7 @@ class KHttpd {
   Config config_;
   core::NCacheModule* ncache_;
   KHttpdStats stats_;
+  LatencyHistogram sojourn_;  ///< pipeline sojourn (overload enabled only)
   std::vector<std::shared_ptr<Connection>> connections_;
 };
 

@@ -97,11 +97,21 @@ void IscsiInitiator::handle_session_down(bool allow_reconnect, bool fail_all) {
 
 Task<void> IscsiInitiator::reconnect_loop() {
   sim::Duration backoff = recovery_.initial_backoff;
+  bool first_attempt = true;
   for (;;) {
     // ±25% deterministic jitter decorrelates initiators sharing a fabric.
     auto jitter = sim::Duration(double(backoff) * (rng_.uniform() * 0.5 - 0.25));
     co_await sim::sleep_for(stack_.loop(), backoff + jitter);
     if (down_) break;
+    if (!first_attempt && retry_budget_ &&
+        !retry_budget_->try_withdraw(stack_.loop().now())) {
+      // Budget exhausted: keep probing, but only at the backoff cap — a
+      // fleet of budget-starved initiators cannot stampede the target.
+      ++stats_.budget_denied;
+      backoff = recovery_.max_backoff;
+      continue;
+    }
+    first_attempt = false;
     ++stats_.login_attempts;
     if (co_await establish()) {
       ++stats_.relogins;
@@ -300,12 +310,23 @@ Task<MsgBuffer> IscsiInitiator::read_blocks(std::uint64_t lbn,
       ++stats_.errors;
       co_return MsgBuffer{};
     }
+    if (retry_budget_ &&
+        !retry_budget_->try_withdraw(stack_.loop().now())) {
+      // Budget exhausted: fail the I/O instead of rereading — the error
+      // path sheds load that backoff alone would only delay.
+      ++stats_.budget_denied;
+      ++stats_.errors;
+      co_return MsgBuffer{};
+    }
     ++stats_.io_retries;
     co_await sim::sleep_for(stack_.loop(),
                             recovery_.read_retry_backoff << attempt);
     ++attempt;
   }
   stats_.read_bytes += chain.size();
+  // A completed read is goodput: it earns the node's budget back a
+  // fraction of a retry token.
+  if (retry_budget_) retry_budget_->deposit(stack_.loop().now());
 
   auto& copier = stack_.copier();
   if (metadata) {
@@ -403,6 +424,9 @@ Task<bool> IscsiInitiator::write_blocks(std::uint64_t lbn, MsgBuffer data,
 
   Pdu resp = co_await wait_response(itt);
   pending_.erase(resp.itt);
+  if (retry_budget_ && resp.status == ScsiStatus::Good) {
+    retry_budget_->deposit(stack_.loop().now());
+  }
   co_return resp.status == ScsiStatus::Good;
 }
 
@@ -419,6 +443,12 @@ void IscsiInitiator::register_metrics(MetricRegistry& registry,
   registry.counter(node, "iscsi.io_retries",
                    [this] { return stats_.io_retries; });
   registry.counter(node, "iscsi.errors", [this] { return stats_.errors; });
+  if (retry_budget_) {
+    // Registered only when a budget is attached, so budget-less runs keep
+    // their metrics JSON byte-identical.
+    registry.counter(node, "iscsi.budget_denied",
+                     [this] { return stats_.budget_denied; });
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "blockdev/block_store.h"
+#include "common/overload.h"
 #include "common/rng.h"
 #include "iscsi/pdu.h"
 #include "proto/stack.h"
@@ -61,6 +62,7 @@ struct InitiatorStats {
   std::uint64_t relogins = 0;          ///< successful session re-logins
   std::uint64_t replays = 0;           ///< commands replayed after re-login
   std::uint64_t io_retries = 0;        ///< reads retried on CHECK CONDITION
+  std::uint64_t budget_denied = 0;     ///< retries refused by the budget
 };
 
 class IscsiInitiator final : public BlockClient {
@@ -122,7 +124,16 @@ class IscsiInitiator final : public BlockClient {
   const InitiatorStats& stats() const noexcept { return stats_; }
 
   /// Publishes iscsi.* counters (including the recovery ones) under `node`.
+  /// Call after set_retry_budget so the budget counter registers too.
   void register_metrics(MetricRegistry& registry, const std::string& node);
+
+  /// Shared retry budget (one per node; the NFS/peer paths on the same
+  /// node draw from it too). When set, CHECK CONDITION rereads and
+  /// re-login attempts past the first must win a token; a denied reread
+  /// fails the I/O, a denied re-login waits out the backoff cap.
+  void set_retry_budget(overload::RetryBudget* budget) {
+    retry_budget_ = budget;
+  }
 
  private:
   struct Pending {
@@ -172,6 +183,7 @@ class IscsiInitiator final : public BlockClient {
   bool down_ = false;  ///< deliberately aborted; no auto-reconnect
 
   PayloadPolicy policy_ = PayloadPolicy::Copy;
+  overload::RetryBudget* retry_budget_ = nullptr;
   IngestHook ingest_;
   RemapHook remap_;
   LbnProbe probe_;

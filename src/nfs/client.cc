@@ -45,6 +45,9 @@ void NfsClient::on_datagram(MsgBuffer msg) {
   auto resolve = std::move(it->second.resolve);
   pending_.erase(it);
   ++stats_.replies;
+  // Every answered call is goodput: it earns back a fraction of a retry
+  // token, so sustained retries stay a bounded fraction of successes.
+  if (retry_budget_) retry_budget_->deposit(stack_.loop().now());
   resolve(std::move(msg));
 }
 
@@ -114,6 +117,18 @@ Task<std::optional<MsgBuffer>> NfsClient::call(Proc proc,
           auto it = pending_.find(xid);
           if (it == pending_.end()) return;  // answered
           if (n > 1) {
+            if (retry_budget_ &&
+                !retry_budget_->try_withdraw(stack_.loop().now())) {
+              // Budget exhausted: fail the call now instead of feeding a
+              // retry storm — the caller's error path (not a resend) is
+              // the load-shedding response.
+              ++stats_.budget_denied;
+              ++stats_.timeouts;
+              auto resolve2 = std::move(it->second.resolve);
+              pending_.erase(it);
+              resolve2(std::nullopt);
+              return;
+            }
             ++stats_.retransmits;
             it->second.retransmitted = true;  // Karn: sample now ambiguous
           }
@@ -146,6 +161,13 @@ void NfsClient::register_metrics(MetricRegistry& registry,
                    [this] { return stats_.timeouts; });
   registry.gauge(node, "nfs_client.rto_ms",
                  [this] { return double(rto_) / double(sim::kMillisecond); });
+  if (retry_budget_) {
+    // Registered only when a budget is attached, so budget-less runs keep
+    // their metrics JSON byte-identical. (The node-wide
+    // "retry_budget.denied" aggregate is registered by the world.)
+    registry.counter(node, "nfs_client.budget_denied",
+                     [this] { return stats_.budget_denied; });
+  }
 }
 
 Task<std::optional<Fattr>> NfsClient::getattr(std::uint64_t fh) {

@@ -9,6 +9,7 @@
 
 #include <unordered_map>
 
+#include "common/overload.h"
 #include "common/rng.h"
 #include "netbuf/copy_engine.h"
 #include "nfs/protocol.h"
@@ -23,6 +24,7 @@ struct NfsClientStats {
   std::uint64_t timeouts = 0;
   std::uint64_t read_bytes = 0;
   std::uint64_t write_bytes = 0;
+  std::uint64_t budget_denied = 0;  ///< retransmits refused by the budget
 };
 
 class NfsClient {
@@ -72,8 +74,17 @@ class NfsClient {
   sim::Duration current_rto() const noexcept { return rto_; }
 
   /// Publishes nfs_client.* call/retransmit counters and the RTO gauge
-  /// under `node`.
+  /// under `node`. Call after set_retry_budget so the budget counter
+  /// registers too.
   void register_metrics(MetricRegistry& registry, const std::string& node);
+
+  /// Shared retry budget (typically one per client node, shared with the
+  /// iSCSI initiator there). When set, a retransmission that cannot win a
+  /// token fails the call immediately — the client sheds its own retry
+  /// storm instead of hammering a saturated server.
+  void set_retry_budget(overload::RetryBudget* budget) {
+    retry_budget_ = budget;
+  }
 
  private:
   /// One RPC exchange: sends header+args (+payload), awaits the matching
@@ -110,6 +121,7 @@ class NfsClient {
   sim::Duration rttvar_ = 0;
   sim::Duration rto_ = kInitialRto;
   Pcg32 rng_;  ///< retransmission jitter (seeded per client)
+  overload::RetryBudget* retry_budget_ = nullptr;
 };
 
 }  // namespace ncache::nfs

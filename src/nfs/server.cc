@@ -14,7 +14,8 @@ NfsServer::NfsServer(proto::NetworkStack& stack, fs::SimpleFs& fs,
       fs_(fs),
       config_(config),
       ncache_(ncache),
-      sock_(stack, config.mode, config.port) {
+      sock_(stack, config.mode, config.port),
+      codel_(config.overload.codel) {
   if (config_.mode == ServerMode::NCache && !ncache_) {
     throw std::invalid_argument("NfsServer: NCache mode requires the module");
   }
@@ -45,6 +46,15 @@ void NfsServer::stop() {
   }
 }
 
+bool NfsServer::is_data_op(const MsgBuffer& msg) {
+  if (msg.size() < kCallHeaderBytes) return false;
+  auto head = msg.peek_bytes(kCallHeaderBytes);
+  ByteReader hr(head);
+  auto call = CallHeader::parse(hr);
+  if (!call) return false;
+  return call->proc == Proc::Read || call->proc == Proc::Write;
+}
+
 void NfsServer::on_datagram(proto::Ipv4Addr sip, std::uint16_t sport,
                             proto::Ipv4Addr dip, std::uint16_t /*dport*/,
                             MsgBuffer msg) {
@@ -53,21 +63,59 @@ void NfsServer::on_datagram(proto::Ipv4Addr sip, std::uint16_t sport,
   // receive interrupt itself still runs wherever the NIC delivered it;
   // only the daemon-side work is steered.
   unsigned core = stack_.cpu().steer((std::uint64_t(sip) << 16) ^ sport);
-  Request req{sip, sport, dip, core, std::move(msg)};
+  const OverloadConfig& ov = config_.overload;
+  bool data_op = false;
+  if (ov.enabled) {
+    data_op = is_data_op(msg);
+    // Brownout tier 3: shed bulk data at ingress (metadata still served)
+    // while the cache-pressure probe holds. The drop costs no daemon
+    // work; the client's adaptive RTO resends after the brownout lifts.
+    if (data_op && shed_probe_ && shed_probe_()) {
+      ++stats_.brownout_shed;
+      return;
+    }
+  }
+  Request req{sip, sport, dip, core, std::move(msg), stack_.loop().now()};
   if (!waiting_.empty()) {
     auto w = std::move(waiting_.front());
     waiting_.pop_front();
     w(std::move(req));
     return;
   }
-  queue_.push_back(std::move(req));
-  stats_.queue_hwm = std::max(stats_.queue_hwm, queue_.size());
+  if (queue_depth() >= ov.queue_limit) {
+    // Hard bound (always on): a runaway client cannot grow memory without
+    // bound. Under priority shedding an arriving metadata op evicts the
+    // youngest queued data op instead of being lost itself.
+    ++stats_.queue_drops;
+    if (!(ov.enabled && ov.priority && !data_op && !queue_.empty())) return;
+    queue_.pop_back();
+  }
+  if (ov.enabled && ov.priority && !data_op) {
+    meta_queue_.push_back(std::move(req));
+  } else {
+    queue_.push_back(std::move(req));
+  }
+  stats_.queue_hwm = std::max(stats_.queue_hwm, queue_depth());
 }
 
 Task<std::optional<NfsServer::Request>> NfsServer::next_request() {
-  if (!queue_.empty()) {
-    Request req = std::move(queue_.front());
-    queue_.pop_front();
+  while (!queue_.empty() || !meta_queue_.empty()) {
+    // Metadata first: under brownout the cheap namespace ops keep being
+    // served while bulk reads absorb the shedding.
+    std::deque<Request>& q = meta_queue_.empty() ? queue_ : meta_queue_;
+    Request req = std::move(q.front());
+    q.pop_front();
+    if (config_.overload.enabled) {
+      const sim::Time now = stack_.loop().now();
+      const std::uint64_t sojourn = now - req.enqueued_at;
+      sojourn_.record(sojourn);
+      // Only the data class feeds the CoDel control law — metadata is
+      // exempt from sojourn shedding entirely.
+      if (&q == &queue_ && codel_.on_dequeue(now, sojourn)) {
+        ++stats_.shed;
+        continue;  // silently dropped; the client's RTO resends
+      }
+    }
     // Yield through the loop to keep daemon scheduling fair and to honour
     // the AwaitCallback asynchronous-completion contract.
     co_await sim::sleep_for(stack_.loop(), 0);
@@ -112,6 +160,16 @@ void NfsServer::register_metrics(MetricRegistry& registry,
                    [this] { return stats_.unaligned_writes; });
   registry.gauge(node, "nfs.queue_hwm",
                  [this] { return double(stats_.queue_hwm); });
+  registry.counter(node, "nfs.queue_drops",
+                   [this] { return stats_.queue_drops; });
+  if (config_.overload.enabled) {
+    // Overload-only metrics register only when the feature is on, so a
+    // disabled run's metrics JSON stays byte-identical to the seed.
+    registry.counter(node, "overload.shed", [this] { return stats_.shed; });
+    registry.counter(node, "overload.brownout_shed",
+                     [this] { return stats_.brownout_shed; });
+    registry.histogram(node, "overload.sojourn", &sojourn_);
+  }
   registry.on_reset([this] { reset_stats(); });
 }
 

@@ -18,6 +18,7 @@
 
 #include <deque>
 
+#include "common/overload.h"
 #include "core/ncache_module.h"
 #include "core/pass_mode.h"
 #include "fs/simple_fs.h"
@@ -45,14 +46,33 @@ struct NfsServerStats {
   std::uint64_t errors = 0;
   std::uint64_t unaligned_writes = 0;  ///< NCache fell back to copying
   std::size_t queue_hwm = 0;
+  std::uint64_t queue_drops = 0;    ///< hard queue-bound overflow drops
+  std::uint64_t shed = 0;           ///< CoDel sojourn sheds (overload on)
+  std::uint64_t brownout_shed = 0;  ///< data ops shed by the brownout probe
 };
 
 class NfsServer {
  public:
+  /// Overload-control knobs. `queue_limit` is always enforced (a runaway
+  /// client must not grow server memory without bound); everything else is
+  /// off by default and, when off, leaves runs byte-identical.
+  struct OverloadConfig {
+    /// Hard bound on queued requests. Far above any healthy depth, so
+    /// fault-free runs never hit it; overflow drops are metered.
+    std::size_t queue_limit = 8192;
+    /// Enables CoDel sojourn-time shedding + metadata-over-data priority
+    /// dequeue + the brownout shed probe + sojourn histograms.
+    bool enabled = false;
+    overload::CoDelState::Config codel;
+    /// Dequeue metadata ops before bulk data while shedding pressure.
+    bool priority = true;
+  };
+
   struct Config {
     ServerMode mode = ServerMode::Original;
     int daemons = 8;
     std::uint16_t port = kNfsPort;
+    OverloadConfig overload;
   };
 
   /// `ncache` is required in NCache mode (ignored otherwise).
@@ -77,7 +97,23 @@ class NfsServer {
   void set_write_observer(WriteObserver fn) { on_write_ = std::move(fn); }
 
   const NfsServerStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = NfsServerStats{}; }
+  void reset_stats() noexcept {
+    stats_ = NfsServerStats{};
+    sojourn_.reset();
+  }
+
+  /// Queued-but-unserved requests right now (the LoadBalancer's heartbeat
+  /// qdepth feedback samples this).
+  std::size_t queue_depth() const noexcept {
+    return queue_.size() + meta_queue_.size();
+  }
+
+  /// Brownout hook: when set (and overload is enabled), incoming bulk
+  /// data ops are shed at ingress while the probe returns true; metadata
+  /// is always admitted. The NCache brownout tier machine drives this.
+  void set_shed_probe(std::function<bool()> fn) {
+    shed_probe_ = std::move(fn);
+  }
 
   /// Publishes nfs.* request counters under `node` and hooks reset_stats()
   /// into the registry reset.
@@ -90,7 +126,12 @@ class NfsServer {
     proto::Ipv4Addr server_ip;  ///< which NIC it arrived on (reply binding)
     unsigned core = 0;  ///< RSS-steered core (hash of the client flow)
     netbuf::MsgBuffer msg;
+    sim::Time enqueued_at = 0;  ///< arrival time (sojourn measurement)
   };
+
+  /// True when the message is a bulk data op (READ/WRITE) — the class
+  /// that sheds first under overload; everything else is metadata.
+  static bool is_data_op(const netbuf::MsgBuffer& msg);
 
   void on_datagram(proto::Ipv4Addr src_ip, std::uint16_t src_port,
                    proto::Ipv4Addr dst_ip, std::uint16_t dst_port,
@@ -125,10 +166,15 @@ class NfsServer {
   sock::UdpSocket sock_;
 
   bool running_ = false;
-  std::deque<Request> queue_;
+  std::deque<Request> queue_;       ///< bulk data ops (and everything when
+                                    ///< overload classification is off)
+  std::deque<Request> meta_queue_;  ///< metadata ops (overload enabled only)
   std::deque<std::function<void(std::optional<Request>)>> waiting_;
   int live_daemons_ = 0;
   WriteObserver on_write_;
+  std::function<bool()> shed_probe_;
+  overload::CoDelState codel_;
+  LatencyHistogram sojourn_;
   NfsServerStats stats_;
 };
 

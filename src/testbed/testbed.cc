@@ -13,6 +13,7 @@ topo::WorldConfig Testbed::world_config(const TestbedConfig& config) {
   wc.wire_format_target = config.wire_format_target;
   wc.wire_target_budget_bytes = config.wire_target_budget_bytes;
   wc.nfs_daemons = config.nfs_daemons;
+  wc.overload = config.overload;
   wc.costs = config.costs;
   return wc;
 }

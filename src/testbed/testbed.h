@@ -52,6 +52,9 @@ struct TestbedConfig {
   // NFS.
   int nfs_daemons = 8;
 
+  // Overload-control spine (all gates off by default — see WorldConfig).
+  topo::WorldConfig::OverloadConfig overload;
+
   sim::CostModel costs{};
 };
 

@@ -389,6 +389,9 @@ void World::build_roles() {
     lc.heartbeat_interval = config_.heartbeat_interval;
     lc.heartbeat_miss_limit = config_.heartbeat_miss_limit;
     lc.readmit_quiet_rounds = config_.readmit_quiet_rounds;
+    lc.admission.enabled = config_.overload.admission;
+    lc.admission.aimd = config_.overload.aimd;
+    lc.admission.qdepth_high = config_.overload.admission_qdepth_high;
     lb_ = std::make_unique<cluster::LoadBalancer>(lb_host_->node->stack, lc,
                                                   std::move(member_list));
   }
@@ -398,6 +401,11 @@ void World::build_roles() {
     ServerStack& s = *servers_[i];
     s.initiator = std::make_unique<iscsi::IscsiInitiator>(
         s.node->stack, server_ips_[i], kStorageIp, /*target_id=*/0);
+    if (config_.overload.retry_budget) {
+      s.retry_budget =
+          std::make_unique<overload::RetryBudget>(config_.overload.budget);
+      s.initiator->set_retry_budget(s.retry_budget.get());
+    }
 
     switch (config_.mode) {
       case core::PassMode::Original:
@@ -409,6 +417,11 @@ void World::build_roles() {
         s.ncache = std::make_unique<core::NCacheModule>(s.node->stack, cc);
         s.ncache->attach_egress();
         s.ncache->attach_initiator(*s.initiator);
+        if (config_.overload.brownout) {
+          auto bc = config_.overload.brownout_cfg;
+          bc.enabled = true;
+          s.ncache->brownout_config() = bc;
+        }
         break;
       }
       case core::PassMode::Baseline:
@@ -434,6 +447,15 @@ void World::build_roles() {
       // Late wiring: the agent serves from / invalidates into these
       // caches, but the block client had to exist before the fs could.
       s.peers->attach(s.ncache.get(), s.fs.get());
+      if (s.retry_budget) s.peers->set_retry_budget(s.retry_budget.get());
+      if (config_.overload.qdepth_feedback) {
+        // Zero-suppressed piggyback: the ack gains a depth word only when
+        // the replica's NFS queue is non-empty (see PeerCache::Heartbeat).
+        ServerStack* sp = &s;
+        s.peers->set_qdepth_probe([sp]() -> std::size_t {
+          return (sp->nfs && !sp->crashed) ? sp->nfs->queue_depth() : 0;
+        });
+      }
     } else {
       s.fs = std::make_unique<fs::SimpleFs>(sloop, *s.initiator,
                                             config_.fs_cache_blocks,
@@ -489,6 +511,14 @@ void World::register_all_metrics() {
         if (s.ncache) s.ncache->register_metrics(metrics_, id);
         if (s.peers) s.peers->register_metrics(metrics_, id);
         if (s.block_client) s.block_client->register_metrics(metrics_, id);
+        if (s.retry_budget) {
+          overload::RetryBudget* b = s.retry_budget.get();
+          metrics_.counter(id, "retry_budget.denied",
+                           [b] { return b->denied(); });
+          metrics_.counter(id, "retry_budget.withdrawn",
+                           [b] { return b->withdrawn(); });
+          metrics_.on_reset([b] { b->reset_counters(); });
+        }
         break;
       }
       case NodeKind::Client:
@@ -546,8 +576,15 @@ void World::start_nfs() {
     nfs::NfsServer::Config sc;
     sc.mode = config_.mode;
     sc.daemons = config_.nfs_daemons;
+    sc.overload.enabled = config_.overload.server_queue;
+    sc.overload.codel = config_.overload.codel;
+    sc.overload.queue_limit = config_.overload.nfs_queue_limit;
     s.nfs = std::make_unique<nfs::NfsServer>(s.node->stack, *s.fs, sc,
                                              s.ncache.get());
+    if (config_.overload.brownout && s.ncache) {
+      s.nfs->set_shed_probe(
+          [nc = s.ncache.get()] { return nc->shed_probe(); });
+    }
     if (s.peers && config_.peering) {
       TaskReaper& reaper = host(s.id).loop->reaper();
       s.nfs->set_write_observer(
@@ -587,7 +624,19 @@ void World::start_nfs() {
     nfs_clients_.push_back(std::make_unique<nfs::NfsClient>(
         clients_[std::size_t(i)]->node->stack, client_ip(i), dst,
         std::uint16_t(700 + i)));
-    nfs_clients_.back()->register_metrics(metrics_, clients_[std::size_t(i)]->spec->id);
+    const std::string& client_id = clients_[std::size_t(i)]->spec->id;
+    if (config_.overload.retry_budget) {
+      client_budgets_.push_back(
+          std::make_unique<overload::RetryBudget>(config_.overload.budget));
+      overload::RetryBudget* b = client_budgets_.back().get();
+      nfs_clients_.back()->set_retry_budget(b);
+      metrics_.counter(client_id, "retry_budget.denied",
+                       [b] { return b->denied(); });
+      metrics_.counter(client_id, "retry_budget.withdrawn",
+                       [b] { return b->withdrawn(); });
+      metrics_.on_reset([b] { b->reset_counters(); });
+    }
+    nfs_clients_.back()->register_metrics(metrics_, client_id);
   }
 }
 

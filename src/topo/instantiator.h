@@ -47,6 +47,7 @@
 #include "cluster/load_balancer.h"
 #include "cluster/peer_cache.h"
 #include "common/metrics.h"
+#include "common/overload.h"
 #include "common/rng.h"
 #include "core/ncache_module.h"
 #include "core/wire_target.h"
@@ -115,6 +116,27 @@ struct WorldConfig {
   /// Seeds the world's FaultInjector and the loss hooks of lossy edges.
   std::uint64_t fault_seed = 1;
 
+  /// The overload-control spine. Every gate defaults off; a world built
+  /// with this struct untouched is byte-identical (event streams and
+  /// metrics JSON) to one built before the spine existed.
+  struct OverloadConfig {
+    bool server_queue = false;     ///< NFS CoDel shedding + metadata priority
+    bool admission = false;        ///< AIMD token bucket at the balancer VIP
+    bool qdepth_feedback = false;  ///< replica queue depth on heartbeat acks
+    bool retry_budget = false;     ///< per-node budgets (NFS/iSCSI/peer paths)
+    bool brownout = false;         ///< NCache tier ladder + NFS shed probe
+
+    overload::CoDelState::Config codel;  ///< server queue discipline
+    std::size_t nfs_queue_limit = 8192;  ///< hard bound (always enforced)
+    overload::AimdRate::Config aimd;     ///< admission controller
+    std::uint32_t admission_qdepth_high = 16;  ///< congestion signal level
+    overload::RetryBudget::Config budget;
+    /// Tier thresholds / TTL / hysteresis; the embedded `enabled` flag is
+    /// ignored (the `brownout` gate above decides).
+    core::NCacheModule::BrownoutConfig brownout_cfg;
+  };
+  OverloadConfig overload;
+
   sim::CostModel costs{};
 };
 
@@ -134,6 +156,9 @@ class World {
     std::unique_ptr<cluster::PeerBlockClient> block_client;
     std::unique_ptr<fs::SimpleFs> fs;
     std::unique_ptr<nfs::NfsServer> nfs;  ///< created in start_nfs()
+    /// Node-wide retry budget (overload.retry_budget): the initiator and
+    /// peer retransmit paths on this node share it.
+    std::unique_ptr<overload::RetryBudget> retry_budget;
     bool crashed = false;
   };
 
@@ -308,6 +333,8 @@ class World {
   std::unique_ptr<core::WireFormatTarget> wire_target_;
   std::unique_ptr<cluster::LoadBalancer> lb_;
   std::vector<std::unique_ptr<nfs::NfsClient>> nfs_clients_;
+  /// One budget per client node (overload.retry_budget).
+  std::vector<std::unique_ptr<overload::RetryBudget>> client_budgets_;
 
   std::unique_ptr<fault::FaultInjector> faults_;
   /// One deterministic RNG per lossy link direction (seeded from

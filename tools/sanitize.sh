@@ -8,11 +8,14 @@
 #   sanitize.sh cluster   [build-dir]  ASan/UBSan, label `cluster` (incl.
 #                                      the partition/coherence tests)
 #   sanitize.sh topology  [build-dir]  ASan/UBSan, label `topology`
-#   sanitize.sh parallel  [build-dir]  TSan, labels `topology|cluster`
-#                                      (partition tests under the engine's
-#                                      worker pool included) + the
-#                                      scaleout_parallel and
-#                                      chaos_partition bench smokes
+#   sanitize.sh overload  [build-dir]  ASan/UBSan, label `overload`
+#   sanitize.sh parallel  [build-dir]  TSan, labels `topology|cluster|
+#                                      overload` (partition tests under
+#                                      the engine's worker pool and the
+#                                      flash-crowd T>1 byte-identity test
+#                                      included) + the scaleout_parallel,
+#                                      chaos_partition and chaos_overload
+#                                      bench smokes
 #   sanitize.sh all       [build-dir]  ASan/UBSan, every labeled suite
 #
 # Default build dirs: build-sanitize (ASan/UBSan), build-tsan (TSan).
@@ -30,13 +33,13 @@ SRC=$(cd "$(dirname "$0")/.." && pwd)
 SUITE="${1:-}"
 
 usage() {
-  echo "usage: sanitize.sh {faults|cluster|topology|parallel|all} [build-dir]" >&2
+  echo "usage: sanitize.sh {faults|cluster|topology|overload|parallel|all} [build-dir]" >&2
   exit 2
 }
 [ -n "$SUITE" ] || usage
 
 case "$SUITE" in
-  faults|cluster|topology|all)
+  faults|cluster|topology|overload|all)
     BUILD="${2:-$SRC/build-sanitize}"
     SANITIZE="address,undefined"
     ;;
@@ -54,12 +57,14 @@ case "$SUITE" in
   faults)   ctest --test-dir "$BUILD" -L faults --output-on-failure -j 4 ;;
   cluster)  ctest --test-dir "$BUILD" -L cluster --output-on-failure -j 4 ;;
   topology) ctest --test-dir "$BUILD" -L topology --output-on-failure -j 4 ;;
-  all)      ctest --test-dir "$BUILD" -L 'faults|cluster|topology' \
+  overload) ctest --test-dir "$BUILD" -L overload --output-on-failure -j 4 ;;
+  all)      ctest --test-dir "$BUILD" -L 'faults|cluster|topology|overload' \
               --output-on-failure -j 4 ;;
   parallel)
-    ctest --test-dir "$BUILD" -L 'topology|cluster' --output-on-failure -j 4
+    ctest --test-dir "$BUILD" -L 'topology|cluster|overload' \
+      --output-on-failure -j 4
     ctest --test-dir "$BUILD" \
-      -R 'bench_smoke_scaleout_parallel|bench_smoke_chaos_partition' \
+      -R 'bench_smoke_scaleout_parallel|bench_smoke_chaos_partition|bench_smoke_chaos_overload' \
       --output-on-failure
     ;;
 esac

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Regression test for the sanitize_*.sh compat shims: each legacy name
+# must still dispatch to the consolidated sanitize.sh with its suite as
+# the first argument and the caller's arguments appended.
+#
+# No sanitizer build is involved: the shims resolve sanitize.sh relative
+# to their own directory, so we copy them next to a recording stub and
+# check what the stub was invoked with.
+set -eu
+
+SRC=$(cd "$(dirname "$0")/.." && pwd)
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+cat > "$TMP/sanitize.sh" <<'EOF'
+#!/bin/sh
+echo "$@" > "$(dirname "$0")/called"
+EOF
+chmod +x "$TMP/sanitize.sh"
+
+fail=0
+for suite in cluster faults parallel topology; do
+  shim="sanitize_${suite}.sh"
+  cp "$SRC/tools/$shim" "$TMP/$shim"
+  chmod +x "$TMP/$shim"
+  rm -f "$TMP/called"
+  "$TMP/$shim" /tmp/some-build-dir
+  got=$(cat "$TMP/called" 2>/dev/null || echo "<sanitize.sh not called>")
+  want="$suite /tmp/some-build-dir"
+  if [ "$got" = "$want" ]; then
+    echo "ok   $shim -> sanitize.sh $got"
+  else
+    echo "FAIL $shim: want 'sanitize.sh $want', got '$got'" >&2
+    fail=1
+  fi
+done
+exit $fail
